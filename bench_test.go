@@ -1,0 +1,259 @@
+// Benchmarks regenerating every figure panel of the paper's evaluation
+// (Figures 3, 4, and 5, four panels each), the cross-validation and
+// ablation experiments, and the performance of the underlying engines.
+//
+// The figure benches run the full sweep behind the panel at a reduced
+// replication count and report the panel's first/last series values as
+// custom metrics, so `go test -bench` both exercises and summarizes every
+// reproduced result. cmd/figures regenerates the same panels at full
+// statistical quality.
+package ituaval_test
+
+import (
+	"testing"
+
+	"ituaval"
+	"ituaval/internal/core"
+	"ituaval/internal/mc"
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+	"ituaval/internal/sim"
+	"ituaval/internal/study"
+)
+
+const benchReps = 100 // replications per sweep point in figure benches
+
+// benchFigure regenerates the whole sweep behind a figure at reduced
+// statistical effort; each iteration is one full regeneration, so ns/op is
+// the honest cost of reproducing the result.
+func benchFigure(b *testing.B, id string) *study.Figure {
+	b.Helper()
+	f, err := study.Run(id, study.Config{Reps: benchReps, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// benchPanel regenerates the figure per iteration and reports the panel's
+// primary series endpoints as custom metrics.
+func benchPanel(b *testing.B, figID string, panelIdx int) {
+	var fig *study.Figure
+	for i := 0; i < b.N; i++ {
+		fig = benchFigure(b, figID)
+	}
+	p := fig.Panels[panelIdx]
+	s := p.Series[len(p.Series)-1]
+	b.ReportMetric(s.Y[0], "y_first")
+	b.ReportMetric(s.Y[len(s.Y)-1], "y_last")
+}
+
+// --- Figure 3: distributions of 12 hosts into domains (Section 4.1) ---
+
+func BenchmarkFig3aUnavailability(b *testing.B)  { benchPanel(b, "fig3", 0) }
+func BenchmarkFig3bUnreliability(b *testing.B)   { benchPanel(b, "fig3", 1) }
+func BenchmarkFig3cCorruptFraction(b *testing.B) { benchPanel(b, "fig3", 2) }
+func BenchmarkFig3dDomainsExcluded(b *testing.B) { benchPanel(b, "fig3", 3) }
+
+// --- Figure 4: 10 domains with growing hosts per domain (Section 4.2) ---
+
+func BenchmarkFig4aUnavailability(b *testing.B)  { benchPanel(b, "fig4", 0) }
+func BenchmarkFig4bUnreliability(b *testing.B)   { benchPanel(b, "fig4", 1) }
+func BenchmarkFig4cCorruptFraction(b *testing.B) { benchPanel(b, "fig4", 2) }
+func BenchmarkFig4dDomainsExcluded(b *testing.B) { benchPanel(b, "fig4", 3) }
+
+// --- Figure 5: exclusion policies under attack spread (Section 4.3) ---
+
+func BenchmarkFig5aUnavailability5h(b *testing.B)  { benchPanel(b, "fig5", 0) }
+func BenchmarkFig5bUnavailability10h(b *testing.B) { benchPanel(b, "fig5", 1) }
+func BenchmarkFig5cUnreliability5h(b *testing.B)   { benchPanel(b, "fig5", 2) }
+func BenchmarkFig5dUnreliability10h(b *testing.B)  { benchPanel(b, "fig5", 3) }
+
+// --- Cross-validation and ablations (DESIGN.md X1-X5) ---
+
+func BenchmarkCrossValidation(b *testing.B) {
+	var fig *study.Figure
+	for i := 0; i < b.N; i++ {
+		fig = benchFigure(b, "xval")
+	}
+	b.ReportMetric(study.MaxAbsGap(fig.Panels[0]), "max_gap_unavail")
+	b.ReportMetric(study.MaxAbsGap(fig.Panels[1]), "max_gap_unrel")
+}
+
+func BenchmarkNumericalValidation(b *testing.B) {
+	var fig *study.Figure
+	for i := 0; i < b.N; i++ {
+		fig = benchFigure(b, "numval")
+	}
+	b.ReportMetric(study.MaxAbsGap(fig.Panels[0]), "max_gap")
+}
+
+func BenchmarkAblationDetectionRate(b *testing.B) { benchPanel(b, "abl-detect", 0) }
+func BenchmarkAblationRateSplit(b *testing.B)     { benchPanel(b, "abl-split", 0) }
+func BenchmarkAblationConviction(b *testing.B)    { benchPanel(b, "abl-convict", 0) }
+
+// --- Engine performance ---
+
+func baselineParams() core.Params {
+	p := core.DefaultParams()
+	p.NumDomains = 10
+	p.HostsPerDomain = 3
+	p.NumApps = 4
+	p.RepsPerApp = 7
+	return p
+}
+
+// BenchmarkModelBuild measures construction+finalization of the composed
+// ITUA SAN (351+ places, 264+ activities at the baseline size).
+func BenchmarkModelBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(baselineParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicationDomainExclusion measures one 10-hour replication of
+// the baseline model under domain exclusion.
+func BenchmarkReplicationDomainExclusion(b *testing.B) {
+	benchReplication(b, core.DomainExclusion)
+}
+
+// BenchmarkReplicationHostExclusion is the host-exclusion variant.
+func BenchmarkReplicationHostExclusion(b *testing.B) {
+	benchReplication(b, core.HostExclusion)
+}
+
+func benchReplication(b *testing.B, policy core.Policy) {
+	p := baselineParams()
+	p.Policy = policy
+	m, err := core.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine(m.SAN, false)
+	root := rng.New(1)
+	b.ResetTimer()
+	firings := int64(0)
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunOnce(10, root.Derive(uint64(i)), nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		firings += eng.Firings()
+	}
+	b.ReportMetric(float64(firings)/float64(b.N), "firings/rep")
+}
+
+// BenchmarkDirectReplication measures the independent SSA simulator on the
+// same configuration.
+func BenchmarkDirectReplication(b *testing.B) {
+	p := baselineParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := ituaval.DirectRun(p, uint64(i), []float64{10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEventThroughput measures raw event throughput on the
+// M/M/1/K workhorse model.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	m := san.NewModel("mm1k")
+	q := m.Place("q", 0)
+	m.AddActivity(san.ActivityDef{
+		Name: "arrive", Kind: san.Timed,
+		Dist:    func(*san.State) rng.Dist { return rng.Expo(2) },
+		Enabled: func(s *san.State) bool { return s.Int(q) < 10 },
+		Reads:   []*san.Place{q},
+		Cases:   []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Add(q, 1) }}},
+	})
+	m.AddActivity(san.ActivityDef{
+		Name: "serve", Kind: san.Timed,
+		Dist:    func(*san.State) rng.Dist { return rng.Expo(3) },
+		Enabled: func(s *san.State) bool { return s.Get(q) > 0 },
+		Reads:   []*san.Place{q},
+		Cases:   []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Add(q, -1) }}},
+	})
+	if err := m.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine(m, false)
+	root := rng.New(3)
+	b.ResetTimer()
+	events := int64(0)
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunOnce(1000, root.Derive(uint64(i)), nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		events += eng.Firings()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
+}
+
+// BenchmarkCTMCGenerate measures state-space generation on a reduced
+// all-exponential model.
+func BenchmarkCTMCGenerate(b *testing.B) {
+	m := san.NewModel("grid")
+	x := m.Place("x", 0)
+	y := m.Place("y", 0)
+	const cap = 30
+	add := func(name string, p *san.Place, rate float64, delta san.Marking, limit func(*san.State) bool) {
+		m.AddActivity(san.ActivityDef{
+			Name: name, Kind: san.Timed,
+			Dist:    func(*san.State) rng.Dist { return rng.Expo(rate) },
+			Enabled: limit,
+			Reads:   []*san.Place{x, y},
+			Cases:   []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Add(p, delta) }}},
+		})
+	}
+	add("xi", x, 1.0, 1, func(s *san.State) bool { return s.Int(x) < cap })
+	add("xd", x, 2.0, -1, func(s *san.State) bool { return s.Get(x) > 0 })
+	add("yi", y, 1.5, 1, func(s *san.State) bool { return s.Int(y) < cap })
+	add("yd", y, 2.5, -1, func(s *san.State) bool { return s.Get(y) > 0 })
+	if err := m.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := mc.Generate(m, mc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.NumStates() != (cap+1)*(cap+1) {
+			b.Fatalf("states = %d", c.NumStates())
+		}
+	}
+}
+
+// BenchmarkRewardObservers measures the overhead of the full paper measure
+// set on one replication.
+func BenchmarkRewardObservers(b *testing.B) {
+	p := baselineParams()
+	m, err := core.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vars := []reward.Var{
+		m.Unavailability("u", 0, 0, 10),
+		m.Unreliability("r", 0, 10),
+		m.FracDomainsExcluded("e", 10),
+		m.FracCorruptHostsAtExclusion("cf", 10),
+		m.LoadPerHost("load", 10),
+	}
+	eng := sim.NewEngine(m.SAN, false)
+	root := rng.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs := make([]reward.Observer, len(vars))
+		for j, v := range vars {
+			obs[j] = v.NewObserver()
+		}
+		if err := eng.RunOnce(10, root.Derive(uint64(i)), obs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Byzantine group demo: exercises the group-communication substrate that
+// the ITUA model abstracts into its one-third thresholds. It runs Bracha
+// reliable broadcasts and conviction votes for growing numbers of corrupt
+// members, printing exactly where the guarantees break — the executable
+// justification for the model's "less than a third of the currently active
+// group members can be corrupt" assumption.
+package main
+
+import (
+	"fmt"
+
+	"ituaval/internal/groupcomm"
+)
+
+func main() {
+	const n = 9
+	fmt.Printf("group of %d members\n\n", n)
+
+	fmt.Println("reliable broadcast: correct sender says \"commit\", colluders forge")
+	fmt.Println("\"forged\"; the protocol is configured to tolerate f = 1:")
+	fmt.Printf("%8s %12s %12s %12s\n", "corrupt", "delivered", "value(s)", "verdict")
+	for corrupt := 0; corrupt <= 3; corrupt++ {
+		faulty := map[groupcomm.ProcessID]groupcomm.Behavior{}
+		for i := 0; i < corrupt; i++ {
+			faulty[groupcomm.ProcessID(n-1-i)] = groupcomm.Collude{Value: "forged"}
+		}
+		g := groupcomm.Group{N: n, Faulty: faulty, Tolerance: 1}
+		res := groupcomm.ReliableBroadcast(g, 0, "commit")
+		values := map[string]int{}
+		for _, v := range res.Delivered {
+			values[v]++
+		}
+		verdict := "safe"
+		if values["forged"] > 0 {
+			verdict = "FORGERY"
+		}
+		if len(values) > 1 {
+			verdict = "DISAGREE"
+		}
+		list := ""
+		for v := range values {
+			if list != "" {
+				list += "+"
+			}
+			list += v
+		}
+		fmt.Printf("%8d %12d %12s %12s\n", corrupt, len(res.Delivered), list, verdict)
+	}
+
+	fmt.Println("\nconviction votes (correct observers vote guilty):")
+	fmt.Printf("%8s %8s %12s\n", "corrupt", "voters", "convicts?")
+	for corrupt := 0; corrupt <= 4; corrupt++ {
+		faulty := map[groupcomm.ProcessID]groupcomm.Behavior{}
+		var voters []groupcomm.ProcessID
+		for i := 0; i < n; i++ {
+			if i >= n-corrupt {
+				faulty[groupcomm.ProcessID(i)] = groupcomm.Silent{}
+			} else {
+				voters = append(voters, groupcomm.ProcessID(i))
+			}
+		}
+		res := groupcomm.ConvictionVote(groupcomm.VoteSpec{N: n, Faulty: faulty, GuiltyVoters: voters})
+		all := true
+		for _, c := range res.Convicted {
+			all = all && c
+		}
+		fmt.Printf("%8d %8d %12v\n", corrupt, len(voters), all)
+	}
+	fmt.Printf("\nwith %d members the group convicts while corrupt members < n/3 = 3,\n", n)
+	fmt.Println("and stalls at 3 — the exact threshold the SAN model's enabling")
+	fmt.Println("predicates (3·corrupt < active) encode.")
+}

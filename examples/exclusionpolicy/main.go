@@ -1,0 +1,96 @@
+// Exclusion-policy comparison: the design question of Section 4.3. Should
+// the management infrastructure convict a whole security domain when one of
+// its hosts is caught, or just the host? This example sweeps the
+// intra-domain attack-spread rate and prints the 10-hour unavailability and
+// unreliability of both policies side by side, cross-checked by the
+// independent direct simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ituaval/internal/core"
+	"ituaval/internal/ituadirect"
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/sim"
+	"ituaval/internal/stats"
+)
+
+const (
+	horizon = 10.0
+	reps    = 1500
+)
+
+func sanPoint(p core.Params) (unavail, unrel float64) {
+	m, err := core.Build(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(sim.Spec{
+		Model: m.SAN, Until: horizon, Reps: reps, Seed: 7,
+		Vars: []reward.Var{
+			m.Unavailability("u", 0, 0, horizon),
+			m.Unreliability("r", 0, horizon),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.MustGet("u").Mean, res.MustGet("r").Mean
+}
+
+func directPoint(p core.Params) (unavail, unrel float64) {
+	root := rng.New(8)
+	var u, r stats.Accumulator
+	for i := 0; i < reps; i++ {
+		res, err := ituadirect.Run(p, root.Derive(uint64(i)), []float64{horizon})
+		if err != nil {
+			log.Fatal(err)
+		}
+		u.Add(res.UnavailTime[0] / horizon)
+		if res.ByzantineBy[0] {
+			r.Add(1)
+		} else {
+			r.Add(0)
+		}
+	}
+	return u.Mean(), r.Mean()
+}
+
+func main() {
+	fmt.Println("10 domains x 3 hosts, 4 apps x 7 replicas, corruption multiplier 5, 10 h horizon")
+	fmt.Printf("%8s | %28s | %28s\n", "", "unavailability [0,10]", "unreliability [0,10]")
+	fmt.Printf("%8s | %13s %14s | %13s %14s\n", "spread", "host-excl", "domain-excl", "host-excl", "domain-excl")
+	for _, spread := range []float64{0, 2, 4, 6, 8, 10} {
+		row := fmt.Sprintf("%8.0f |", spread)
+		var us, rs [2]float64
+		for i, policy := range []core.Policy{core.HostExclusion, core.DomainExclusion} {
+			p := core.DefaultParams()
+			p.NumDomains = 10
+			p.HostsPerDomain = 3
+			p.NumApps = 4
+			p.RepsPerApp = 7
+			p.CorruptionMult = 5
+			p.DomainSpreadRate = spread
+			p.Policy = policy
+			u, r := sanPoint(p)
+			du, dr := directPoint(p)
+			// Report the SAN estimate; flag if the independent simulator
+			// disagrees by more than a rough tolerance.
+			if diff := u - du; diff > 0.03 || diff < -0.03 {
+				log.Printf("warning: SAN/direct disagree on unavailability at spread=%v policy=%v: %v vs %v", spread, policy, u, du)
+			}
+			if diff := r - dr; diff > 0.06 || diff < -0.06 {
+				log.Printf("warning: SAN/direct disagree on unreliability at spread=%v policy=%v: %v vs %v", spread, policy, r, dr)
+			}
+			us[i], rs[i] = u, r
+		}
+		row += fmt.Sprintf(" %13.4f %14.4f | %13.4f %14.4f", us[0], us[1], rs[0], rs[1])
+		fmt.Println(row)
+	}
+	fmt.Println("\nReading: host exclusion wins while attacks stay contained; once the")
+	fmt.Println("attack spreads quickly inside a domain, preemptively excluding the")
+	fmt.Println("whole domain is the better design, matching the paper's conclusion.")
+}

@@ -1,0 +1,3 @@
+module ituaval
+
+go 1.22

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/san"
+	"ituaval/internal/sim"
+)
+
+// estimate runs the model and returns the named means.
+func estimate(t *testing.T, p Params, until float64, reps int, seed uint64,
+	vars func(m *Model) []reward.Var) map[string]float64 {
+	t.Helper()
+	m := mustBuild(t, p)
+	vs := vars(m)
+	res, err := sim.Run(sim.Spec{Model: m.SAN, Until: until, Reps: reps, Seed: seed, Vars: vs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64, len(vs))
+	for _, v := range vs {
+		out[v.Name()] = res.MustGet(v.Name()).Mean
+	}
+	return out
+}
+
+func TestHigherAttackRateHurts(t *testing.T) {
+	base := smallParams()
+	vars := func(m *Model) []reward.Var {
+		return []reward.Var{m.Unavailability("u", 0, 0, 8), m.FracDomainsExcluded("e", 8)}
+	}
+	low := estimate(t, base, 8, 1200, 41, vars)
+	hot := base
+	hot.TotalAttackRate = 9
+	high := estimate(t, hot, 8, 1200, 41, vars)
+	if high["u"] <= low["u"] {
+		t.Errorf("tripling the attack rate did not raise unavailability: %v vs %v", high["u"], low["u"])
+	}
+	// Note: exclusions are deliberately NOT asserted monotone — under
+	// overwhelming attack the manager infrastructure corrupts faster than
+	// it detects, response conditions fail, and the system excludes *less*
+	// while suffering more. That emergent collapse is part of the model.
+}
+
+func TestCorruptionMultiplierMatters(t *testing.T) {
+	// With all direct replica/manager attacks disabled, corruption reaches
+	// replicas only through corrupt hosts; a larger multiplier must raise
+	// unreliability.
+	base := smallParams()
+	base.NumDomains = 6
+	base.HostsPerDomain = 2
+	base.AttackSplitReplica = 0.001 // keep a tiny direct channel for enabling
+	base.AttackSplitMgr = 0.001
+	vars := func(m *Model) []reward.Var {
+		return []reward.Var{m.Unreliability("r", 0, 10)}
+	}
+	base.CorruptionMult = 1
+	low := estimate(t, base, 10, 1500, 43, vars)
+	base.CorruptionMult = 30
+	high := estimate(t, base, 10, 1500, 43, vars)
+	if high["r"] <= low["r"] {
+		t.Errorf("multiplier 30 did not raise unreliability: %v vs %v", high["r"], low["r"])
+	}
+}
+
+func TestSpreadRaisesHostCorruption(t *testing.T) {
+	p := smallParams()
+	p.NumDomains = 3
+	p.HostsPerDomain = 4
+	p.Policy = HostExclusion // keep corrupted hosts observable
+	vars := func(m *Model) []reward.Var {
+		return []reward.Var{m.CorruptHostsFrac("c", 5)}
+	}
+	p.DomainSpreadRate = 0
+	low := estimate(t, p, 5, 1200, 44, vars)
+	p.DomainSpreadRate = 10
+	high := estimate(t, p, 5, 1200, 44, vars)
+	if high["c"] <= low["c"] {
+		t.Errorf("spread 10 did not raise corrupt-host fraction: %v vs %v", high["c"], low["c"])
+	}
+}
+
+func TestDetectionProbabilityZeroMeansNoHostExclusions(t *testing.T) {
+	// With every detection probability zero, no false alarms, and the
+	// restart-only conviction response, nothing is ever excluded.
+	p := smallParams()
+	p.DetectScript, p.DetectExploratory, p.DetectInnovative = 0, 0, 0
+	p.DetectMgr = 0
+	p.TotalFalseAlarmRate = 0
+	vars := func(m *Model) []reward.Var {
+		return []reward.Var{m.FracDomainsExcluded("e", 10)}
+	}
+	got := estimate(t, p, 10, 400, 45, vars)
+	if got["e"] != 0 {
+		t.Errorf("exclusions happened with zero detection probability: %v", got["e"])
+	}
+}
+
+func TestRecoveryKeepsReplicasUp(t *testing.T) {
+	// With recovery enabled replicas return after kills; with an
+	// effectively disabled recovery (tiny rate) the running count at T is
+	// lower.
+	p := smallParams()
+	p.NumDomains = 6
+	p.HostsPerDomain = 1
+	p.RepsPerApp = 3
+	vars := func(m *Model) []reward.Var {
+		return []reward.Var{m.ReplicasRunning("n", 0, 8)}
+	}
+	fast := estimate(t, p, 8, 1200, 46, vars)
+	p.RecoveryRate = 0.001
+	slow := estimate(t, p, 8, 1200, 46, vars)
+	if fast["n"] <= slow["n"] {
+		t.Errorf("recovery did not help: fast %v vs slow %v", fast["n"], slow["n"])
+	}
+}
+
+func TestQuorumLossBlocksConvictionResponses(t *testing.T) {
+	// When corrupt managers are never detected the global quorum dies, and
+	// convicted replicas pile up awaiting a response (the respond activity
+	// needs a correct domain group or a good system-wide quorum). With the
+	// same attack process but fast manager detection, convictions clear.
+	base := smallParams()
+	base.NumDomains = 4
+	base.HostsPerDomain = 3
+	base.RepsPerApp = 3
+	base.Policy = HostExclusion // shed corrupt hosts one at a time
+	base.AttackSplitHost = 0.2
+	base.AttackSplitReplica = 1
+	base.AttackSplitMgr = 5 // managers fall fast
+	base.TotalAttackRate = 4
+	pendingConvictions := func(m *Model) []reward.Var {
+		return []reward.Var{&reward.AtTime{VarName: "pending", T: 10, F: func(s *san.State) float64 {
+			n := 0.0
+			for a := range m.RepConvicted {
+				for r := range m.RepConvicted[a] {
+					if s.Get(m.RepConvicted[a][r]) == 1 {
+						n++
+					}
+				}
+			}
+			return n
+		}}}
+	}
+	sick := base
+	sick.DetectMgr = 0 // corrupt managers never caught: quorum dies
+	sickRes := estimate(t, sick, 10, 800, 47, pendingConvictions)
+	healthy := base
+	healthy.DetectMgr = 1
+	healthy.MgrDetectRate = 8 // corrupt managers excluded promptly
+	healthyRes := estimate(t, healthy, 10, 800, 47, pendingConvictions)
+	if sickRes["pending"] <= 2*healthyRes["pending"] {
+		t.Errorf("dead quorum did not strand convictions: sick %v vs healthy %v",
+			sickRes["pending"], healthyRes["pending"])
+	}
+}
+
+func TestHostExclusionPreservesMoreHosts(t *testing.T) {
+	// The resource argument of Section 4.3: host exclusion sacrifices
+	// fewer hosts than domain exclusion for the same attack process.
+	p := smallParams()
+	p.NumDomains = 4
+	p.HostsPerDomain = 3
+	hostsUp := func(m *Model) []reward.Var {
+		return []reward.Var{&reward.AtTime{VarName: "up", T: 8, F: m.hostsUpF()}}
+	}
+	dom := estimate(t, p, 8, 1000, 48, hostsUp)
+	p.Policy = HostExclusion
+	host := estimate(t, p, 8, 1000, 48, hostsUp)
+	if host["up"] <= dom["up"] {
+		t.Errorf("host exclusion kept fewer hosts (%v) than domain exclusion (%v)", host["up"], dom["up"])
+	}
+}

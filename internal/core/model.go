@@ -1,0 +1,776 @@
+package core
+
+import (
+	"fmt"
+
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+)
+
+// Model is the composed ITUA SAN together with the place handles the
+// measures and tests need. Host g below is the flattened host index
+// g = domain*HostsPerDomain + hostInDomain; places that encode a host in a
+// marking store g+1 so that 0 means "none".
+type Model struct {
+	Params Params
+	SAN    *san.Model
+
+	// Global places.
+	SpreadSys       *san.Place // attack_spread_system
+	Intrusions      *san.Place // successful attacks so far (quenches false alarms)
+	UndetMgrs       *san.Place // undetected_corr_mgrs (system-wide)
+	MgrsRunning     *san.Place // currently active managers (system-wide)
+	DomainsExcluded *san.Place // number of excluded domains
+	LastExclCorrupt *san.Place // corrupt hosts in the most recently excluded domain
+	LastExclTotal   *san.Place // hosts in the most recently excluded domain
+
+	// Per-domain places (index d).
+	SpreadDom      []*san.Place // attack_spread_domain
+	DomExcluded    []*san.Place // exclude flag
+	DomMgrsUp      []*san.Place // active managers in the domain
+	DomMgrsCorrupt []*san.Place // undetected corrupt managers in the domain
+	ExclPending    []*san.Place // domain conviction awaiting shut_domain
+
+	// Per-host places (flattened index g).
+	HostStatus      []*san.Place // 0 ok; 1 script; 2 exploratory; 3 innovative
+	HostExcluded    []*san.Place
+	HostDetectDone  []*san.Place // host-OS IDS trial consumed
+	MgrStatus       []*san.Place // 0 ok; 1 corrupt undetected; 2 removed
+	MgrDetectDone   []*san.Place
+	PropDomDone     []*san.Place // intra-domain spread fired
+	PropSysDone     []*san.Place // system-wide spread fired
+	NumReplicas     []*san.Place // replicas running on the host
+	HostExclPending []*san.Place // host conviction awaiting shut_host
+
+	// Per-application places (index a).
+	Running      []*san.Place // replicas_running
+	Undet        []*san.Place // rep_corr_undetected
+	GrpFail      []*san.Place // rep_grp_failure latch
+	NeedRecovery []*san.Place
+
+	// HasReplica[a][d] is 1 while application a has a replica in domain d.
+	HasReplica [][]*san.Place
+
+	// Per-replica-slot places ([a][r]).
+	OnHost        [][]*san.Place // 0 = slot empty, else flattened host + 1
+	RepCorrupt    [][]*san.Place
+	RepConvicted  [][]*san.Place
+	RepDetectDone [][]*san.Place
+
+	// shutActivity[name] is true for the exclusion activities, which the
+	// fraction-of-corrupt-hosts impulse measure matches on.
+	shutActivity map[string]bool
+}
+
+// Build constructs and finalizes the composed ITUA model for p.
+func Build(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid params: %w", err)
+	}
+	D, H, A, R := p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp
+	nHosts := D * H
+	rt := p.derive()
+
+	m := &Model{
+		Params:       p,
+		SAN:          san.NewModel(fmt.Sprintf("itua-%s-%dx%d-%dx%d", p.Policy, D, H, A, R)),
+		shutActivity: make(map[string]bool),
+	}
+	s := m.SAN
+
+	// ---- places ------------------------------------------------------
+	m.SpreadSys = s.Place("attack_spread_system", 0)
+	m.Intrusions = s.Place("intrusions", 0)
+	m.UndetMgrs = s.Place("undetected_corr_mgrs", 0)
+	m.MgrsRunning = s.Place("mgrs_running", san.Marking(nHosts))
+	m.DomainsExcluded = s.Place("domains_excluded", 0)
+	m.LastExclCorrupt = s.Place("last_excl_corrupt", 0)
+	m.LastExclTotal = s.Place("last_excl_total", 0)
+
+	perDomain := func(name string, init san.Marking) []*san.Place {
+		ps := make([]*san.Place, D)
+		for d := 0; d < D; d++ {
+			ps[d] = s.Place(fmt.Sprintf("domain[%d].%s", d, name), init)
+		}
+		return ps
+	}
+	m.SpreadDom = perDomain("attack_spread_domain", 0)
+	m.DomExcluded = perDomain("excluded", 0)
+	m.DomMgrsUp = perDomain("mgrs_up", san.Marking(H))
+	m.DomMgrsCorrupt = perDomain("mgrs_corrupt", 0)
+	m.ExclPending = perDomain("exclude_pending", 0)
+
+	perHost := func(name string) []*san.Place {
+		ps := make([]*san.Place, nHosts)
+		for g := 0; g < nHosts; g++ {
+			ps[g] = s.Place(fmt.Sprintf("domain[%d].host[%d].%s", g/H, g%H, name), 0)
+		}
+		return ps
+	}
+	m.HostStatus = perHost("status")
+	m.HostExcluded = perHost("excluded")
+	m.HostDetectDone = perHost("detect_done")
+	m.MgrStatus = perHost("mgr_status")
+	m.MgrDetectDone = perHost("mgr_detect_done")
+	m.PropDomDone = perHost("prop_domain_done")
+	m.PropSysDone = perHost("prop_sys_done")
+	m.NumReplicas = perHost("num_replicas")
+	m.HostExclPending = perHost("exclude_pending")
+
+	perApp := func(name string) []*san.Place {
+		ps := make([]*san.Place, A)
+		for a := 0; a < A; a++ {
+			ps[a] = s.Place(fmt.Sprintf("app[%d].%s", a, name), 0)
+		}
+		return ps
+	}
+	m.Running = perApp("replicas_running")
+	m.Undet = perApp("rep_corr_undetected")
+	m.GrpFail = perApp("rep_grp_failure")
+	m.NeedRecovery = perApp("need_recovery")
+
+	m.HasReplica = make([][]*san.Place, A)
+	m.OnHost = make([][]*san.Place, A)
+	m.RepCorrupt = make([][]*san.Place, A)
+	m.RepConvicted = make([][]*san.Place, A)
+	m.RepDetectDone = make([][]*san.Place, A)
+	for a := 0; a < A; a++ {
+		m.HasReplica[a] = make([]*san.Place, D)
+		for d := 0; d < D; d++ {
+			m.HasReplica[a][d] = s.Place(fmt.Sprintf("app[%d].has_replica[%d]", a, d), 0)
+		}
+		m.OnHost[a] = make([]*san.Place, R)
+		m.RepCorrupt[a] = make([]*san.Place, R)
+		m.RepConvicted[a] = make([]*san.Place, R)
+		m.RepDetectDone[a] = make([]*san.Place, R)
+		for r := 0; r < R; r++ {
+			m.OnHost[a][r] = s.Place(fmt.Sprintf("app[%d].rep[%d].on_host", a, r), 0)
+			m.RepCorrupt[a][r] = s.Place(fmt.Sprintf("app[%d].rep[%d].corrupt", a, r), 0)
+			m.RepConvicted[a][r] = s.Place(fmt.Sprintf("app[%d].rep[%d].convicted", a, r), 0)
+			m.RepDetectDone[a][r] = s.Place(fmt.Sprintf("app[%d].rep[%d].detect_done", a, r), 0)
+		}
+	}
+
+	// ---- shared predicates and effect helpers -------------------------
+
+	// Manager quorum conditions: "less than a third of the currently
+	// active group members are corrupt" (Section 2).
+	globalQuorumOK := func(st *san.State) bool {
+		return 3*st.Int(m.UndetMgrs) < st.Int(m.MgrsRunning)
+	}
+	domainGroupOK := func(st *san.State, d int) bool {
+		return 3*st.Int(m.DomMgrsCorrupt[d]) < st.Int(m.DomMgrsUp[d])
+	}
+
+	// checkByzantine latches rep_grp_failure when a third or more of the
+	// currently running replicas of app a are corrupt but undetected — a
+	// Byzantine fault of the replication group (Section 3.2). Exhaustion
+	// (running == 0 with no corruptions) is improper *service* and counts
+	// toward unavailability, but is not a Byzantine fault and does not
+	// latch, matching the paper's rep_grp_failure semantics.
+	checkByzantine := func(st *san.State, a int) {
+		undet := st.Int(m.Undet[a])
+		if undet > 0 && 3*undet >= st.Int(m.Running[a]) {
+			st.Set(m.GrpFail[a], 1)
+		}
+	}
+
+	// killReplicasOnHost kills every replica running on host g: the paper's
+	// kill_replica behaviour (decrement replicas_running, reset the slot's
+	// local places for reuse, raise need_recovery).
+	killReplicasOnHost := func(st *san.State, g int) {
+		d := g / H
+		for a := 0; a < A; a++ {
+			touched := false
+			for r := 0; r < R; r++ {
+				if st.Int(m.OnHost[a][r]) != g+1 {
+					continue
+				}
+				st.Set(m.OnHost[a][r], 0)
+				// A replica contributes to rep_corr_undetected exactly
+				// while corrupt and not yet convicted.
+				if st.Get(m.RepCorrupt[a][r]) == 1 && st.Get(m.RepConvicted[a][r]) == 0 {
+					st.Add(m.Undet[a], -1)
+				}
+				st.Set(m.RepCorrupt[a][r], 0)
+				st.Set(m.RepConvicted[a][r], 0)
+				st.Set(m.RepDetectDone[a][r], 0)
+				st.Add(m.Running[a], -1)
+				st.Set(m.HasReplica[a][d], 0)
+				st.Add(m.NeedRecovery[a], 1)
+				touched = true
+			}
+			if touched {
+				checkByzantine(st, a)
+			}
+		}
+		st.Set(m.NumReplicas[g], 0)
+	}
+
+	// killReplicaSlot kills a single convicted replica (slot a, r running on
+	// host g), freeing the slot for a restart elsewhere.
+	killReplicaSlot := func(st *san.State, a, r, g int) {
+		st.Set(m.OnHost[a][r], 0)
+		if st.Get(m.RepCorrupt[a][r]) == 1 && st.Get(m.RepConvicted[a][r]) == 0 {
+			st.Add(m.Undet[a], -1)
+		}
+		st.Set(m.RepCorrupt[a][r], 0)
+		st.Set(m.RepConvicted[a][r], 0)
+		st.Set(m.RepDetectDone[a][r], 0)
+		st.Add(m.Running[a], -1)
+		st.Set(m.HasReplica[a][g/H], 0)
+		st.Add(m.NeedRecovery[a], 1)
+		st.Add(m.NumReplicas[g], -1)
+		checkByzantine(st, a)
+	}
+
+	// excludeHost removes host g and everything on it.
+	excludeHost := func(st *san.State, g int) {
+		if st.Get(m.HostExcluded[g]) == 1 {
+			return
+		}
+		d := g / H
+		st.Set(m.HostExcluded[g], 1)
+		if st.Get(m.MgrStatus[g]) == 1 {
+			st.Add(m.UndetMgrs, -1)
+			st.Add(m.DomMgrsCorrupt[d], -1)
+		}
+		st.Set(m.MgrStatus[g], 2)
+		st.Add(m.MgrsRunning, -1)
+		st.Add(m.DomMgrsUp[d], -1)
+		killReplicasOnHost(st, g)
+	}
+
+	// excludeDomain records the resource-waste statistics and removes every
+	// host of domain d.
+	excludeDomain := func(st *san.State, d int) {
+		if st.Get(m.DomExcluded[d]) == 1 {
+			return
+		}
+		// A host counts as corrupt if any component on it is corrupt: the
+		// host OS/services, its manager, or a replica it runs. False-alarm
+		// exclusions are the only way a domain is excluded with no corrupt
+		// host, which is the paper's explanation for Fig 3(c) being below
+		// one at one host per domain.
+		corrupt := 0
+		for h := 0; h < H; h++ {
+			g := d*H + h
+			isCorrupt := st.Get(m.HostStatus[g]) > 0 || st.Get(m.MgrStatus[g]) == 1
+			if !isCorrupt {
+			slots:
+				for a := 0; a < A; a++ {
+					for r := 0; r < R; r++ {
+						if st.Int(m.OnHost[a][r]) == g+1 && st.Get(m.RepCorrupt[a][r]) == 1 {
+							isCorrupt = true
+							break slots
+						}
+					}
+				}
+			}
+			if isCorrupt {
+				corrupt++
+			}
+		}
+		st.Set(m.LastExclCorrupt, san.Marking(corrupt))
+		st.Set(m.LastExclTotal, san.Marking(H))
+		for h := 0; h < H; h++ {
+			excludeHost(st, d*H+h)
+		}
+		st.Set(m.DomExcluded[d], 1)
+		st.Add(m.DomainsExcluded, 1)
+	}
+
+	// requestExclusion routes a successful detection response to the
+	// configured management algorithm: convict the whole domain (default)
+	// or only the offending host (alternative algorithm, Section 3.4).
+	requestExclusion := func(st *san.State, g int) {
+		d := g / H
+		switch p.Policy {
+		case DomainExclusion:
+			if st.Get(m.DomExcluded[d]) == 0 {
+				st.Set(m.ExclPending[d], 1)
+			}
+		case HostExclusion:
+			if st.Get(m.HostExcluded[g]) == 0 {
+				st.Set(m.HostExclPending[g], 1)
+			}
+		}
+	}
+
+	// chooseHost picks a live host of domain d for a new replica according
+	// to the configured placement strategy.
+	chooseHost := func(ctx *san.Context, d int) int {
+		st := ctx.State
+		var hostsUp []int
+		for h := 0; h < H; h++ {
+			if st.Get(m.HostExcluded[d*H+h]) == 0 {
+				hostsUp = append(hostsUp, d*H+h)
+			}
+		}
+		switch p.Placement {
+		case LeastLoadedPlacement:
+			best := hostsUp[0]
+			for _, g := range hostsUp[1:] {
+				if st.Get(m.NumReplicas[g]) < st.Get(m.NumReplicas[best]) {
+					best = g
+				}
+			}
+			return best
+		case WeightedRandomPlacement:
+			weights := make([]float64, len(hostsUp))
+			for i, g := range hostsUp {
+				weights[i] = 1 / (1 + float64(st.Get(m.NumReplicas[g])))
+			}
+			return hostsUp[ctx.Rand.Category(weights)]
+		default:
+			return hostsUp[ctx.Rand.Choose(len(hostsUp))]
+		}
+	}
+
+	// ---- initialization ------------------------------------------------
+	// The middleware starts min(RepsPerApp, NumDomains) replicas per
+	// application (one replica per application per domain), on a uniformly
+	// chosen host of each chosen domain. The paper does this with
+	// high-rate assign_id/start_replica activities; the hook is the direct
+	// expression of the same random placement.
+	s.SetInit(func(ctx *san.Context) {
+		st := ctx.State
+		k := R
+		if D < k {
+			k = D
+		}
+		domPerm := make([]int, D)
+		for a := 0; a < A; a++ {
+			ctx.Rand.Perm(domPerm)
+			for i := 0; i < k; i++ {
+				d := domPerm[i]
+				g := chooseHost(ctx, d)
+				st.Set(m.OnHost[a][i], san.Marking(g+1))
+				st.Set(m.HasReplica[a][d], 1)
+				st.Add(m.NumReplicas[g], 1)
+				st.Add(m.Running[a], 1)
+			}
+		}
+	})
+
+	// ---- host activities ------------------------------------------------
+	for g := 0; g < nHosts; g++ {
+		g := g
+		d := g / H
+		hostScope := fmt.Sprintf("domain[%d].host[%d]", d, g%H)
+
+		// attack_host: three cases for the three attack classes; the rate
+		// grows linearly with the domain and system spread markings.
+		s.AddActivity(san.ActivityDef{
+			Name: hostScope + ".attack_host",
+			Kind: san.Timed,
+			Dist: func(st *san.State) rng.Dist {
+				// One spread variable per level governs both how fast the
+				// attack propagates and how much more vulnerable the
+				// exposed hosts become (Section 3.4).
+				boost := p.DomainSpreadRate*float64(st.Get(m.SpreadDom[d])) +
+					p.SystemSpreadRate*float64(st.Get(m.SpreadSys))
+				return rng.Expo(rt.hostAttack * (1 + p.SpreadRateCoeff*boost))
+			},
+			Enabled: func(st *san.State) bool {
+				return rt.hostAttack > 0 &&
+					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.HostStatus[g]) == 0
+			},
+			Reads: []*san.Place{m.HostExcluded[g], m.HostStatus[g], m.SpreadDom[d], m.SpreadSys},
+			Cases: []san.Case{
+				{Name: "script", Prob: p.PScript, Effect: func(ctx *san.Context) {
+					ctx.State.Set(m.HostStatus[g], 1)
+					ctx.State.Add(m.Intrusions, 1)
+				}},
+				{Name: "exploratory", Prob: p.PExploratory, Effect: func(ctx *san.Context) {
+					ctx.State.Set(m.HostStatus[g], 2)
+					ctx.State.Add(m.Intrusions, 1)
+				}},
+				{Name: "innovative", Prob: p.PInnovative, Effect: func(ctx *san.Context) {
+					ctx.State.Set(m.HostStatus[g], 3)
+					ctx.State.Add(m.Intrusions, 1)
+				}},
+			},
+		})
+
+		// propagate_domain / propagate_sys: fire exactly once per corrupt
+		// host, increasing the spread markings.
+		s.AddActivity(san.ActivityDef{
+			Name: hostScope + ".propagate_domain",
+			Kind: san.Timed,
+			Dist: func(*san.State) rng.Dist { return rng.Expo(p.DomainSpreadRate) },
+			Enabled: func(st *san.State) bool {
+				return p.DomainSpreadRate > 0 && st.Get(m.HostStatus[g]) > 0 &&
+					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.PropDomDone[g]) == 0
+			},
+			Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.PropDomDone[g]},
+			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+				ctx.State.Add(m.SpreadDom[d], 1)
+				ctx.State.Set(m.PropDomDone[g], 1)
+			}}},
+		})
+		s.AddActivity(san.ActivityDef{
+			Name: hostScope + ".propagate_sys",
+			Kind: san.Timed,
+			Dist: func(*san.State) rng.Dist { return rng.Expo(p.SystemSpreadRate) },
+			Enabled: func(st *san.State) bool {
+				return p.SystemSpreadRate > 0 && st.Get(m.HostStatus[g]) > 0 &&
+					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.PropSysDone[g]) == 0
+			},
+			Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.PropSysDone[g]},
+			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+				ctx.State.Add(m.SpreadSys, 1)
+				ctx.State.Set(m.PropSysDone[g], 1)
+			}}},
+		})
+
+		// attack_mgmt: attacks on the manager; faster on a corrupt host and
+		// in a domain the attack has spread through.
+		s.AddActivity(san.ActivityDef{
+			Name: hostScope + ".attack_mgmt",
+			Kind: san.Timed,
+			Dist: func(st *san.State) rng.Dist {
+				rate := rt.mgrAttack
+				if st.Get(m.HostStatus[g]) > 0 {
+					rate *= p.CorruptionMult
+				}
+				boost := p.DomainSpreadRate * float64(st.Get(m.SpreadDom[d]))
+				return rng.Expo(rate * (1 + p.AssetSpreadCoeff*boost))
+			},
+			Enabled: func(st *san.State) bool {
+				return rt.mgrAttack > 0 &&
+					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.MgrStatus[g]) == 0
+			},
+			Reads: []*san.Place{m.HostExcluded[g], m.MgrStatus[g], m.HostStatus[g], m.SpreadDom[d]},
+			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+				ctx.State.Set(m.MgrStatus[g], 1)
+				ctx.State.Add(m.UndetMgrs, 1)
+				ctx.State.Add(m.DomMgrsCorrupt[d], 1)
+				ctx.State.Add(m.Intrusions, 1)
+			}}},
+		})
+
+		// valid_ID_{scp,exp,inv}: one detection trial per host corruption;
+		// on success the response runs provided the local manager and the
+		// domain's manager group are not corrupt (Section 3.4).
+		for class, detectProb := range []float64{1: p.DetectScript, 2: p.DetectExploratory, 3: p.DetectInnovative} {
+			if class == 0 {
+				continue
+			}
+			class, detectProb := class, detectProb
+			suffix := [...]string{1: "scp", 2: "exp", 3: "inv"}[class]
+			s.AddActivity(san.ActivityDef{
+				Name: fmt.Sprintf("%s.valid_ID_%s", hostScope, suffix),
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(p.HostDetectRate) },
+				Enabled: func(st *san.State) bool {
+					return p.HostDetectRate > 0 && st.Int(m.HostStatus[g]) == class &&
+						st.Get(m.HostExcluded[g]) == 0 && st.Get(m.HostDetectDone[g]) == 0
+				},
+				Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.HostDetectDone[g]},
+				Cases: []san.Case{
+					{Name: "detect", Prob: detectProb, Effect: func(ctx *san.Context) {
+						ctx.State.Set(m.HostDetectDone[g], 1)
+						if ctx.State.Get(m.MgrStatus[g]) == 0 && domainGroupOK(ctx.State, d) {
+							requestExclusion(ctx.State, g)
+						}
+					}},
+					{Name: "miss", Prob: 1 - detectProb, Effect: func(ctx *san.Context) {
+						ctx.State.Set(m.HostDetectDone[g], 1)
+					}},
+				},
+			})
+		}
+
+		// valid_ID_mgr: detection of manager infiltration. The manager
+		// group convicts its own members, so the response needs either a
+		// correct domain manager group or a good system-wide quorum.
+		s.AddActivity(san.ActivityDef{
+			Name: hostScope + ".valid_ID_mgr",
+			Kind: san.Timed,
+			Dist: func(*san.State) rng.Dist { return rng.Expo(p.MgrDetectRate) },
+			Enabled: func(st *san.State) bool {
+				return p.MgrDetectRate > 0 && st.Get(m.MgrStatus[g]) == 1 &&
+					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.MgrDetectDone[g]) == 0
+			},
+			Reads: []*san.Place{m.MgrStatus[g], m.HostExcluded[g], m.MgrDetectDone[g]},
+			Cases: []san.Case{
+				{Name: "detect", Prob: p.DetectMgr, Effect: func(ctx *san.Context) {
+					ctx.State.Set(m.MgrDetectDone[g], 1)
+					if domainGroupOK(ctx.State, d) || globalQuorumOK(ctx.State) {
+						requestExclusion(ctx.State, g)
+					}
+				}},
+				{Name: "miss", Prob: 1 - p.DetectMgr, Effect: func(ctx *san.Context) {
+					ctx.State.Set(m.MgrDetectDone[g], 1)
+				}},
+			},
+		})
+
+		// false_ID: false alarms of host-OS or manager infiltration,
+		// "enabled as long as there have not been any actual intrusions"
+		// (Section 3.4) — the alarms quench once a real attack has
+		// succeeded anywhere; the response is the same as for a valid
+		// detection.
+		s.AddActivity(san.ActivityDef{
+			Name: hostScope + ".false_ID",
+			Kind: san.Timed,
+			Dist: func(*san.State) rng.Dist { return rng.Expo(rt.hostFalse) },
+			Enabled: func(st *san.State) bool {
+				return rt.hostFalse > 0 && st.Get(m.HostExcluded[g]) == 0 &&
+					st.Get(m.Intrusions) == 0
+			},
+			Reads: []*san.Place{m.HostExcluded[g], m.Intrusions},
+			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+				if ctx.State.Get(m.MgrStatus[g]) == 0 && domainGroupOK(ctx.State, d) {
+					requestExclusion(ctx.State, g)
+				}
+			}}},
+		})
+
+		// shut_host (host-exclusion algorithm only): carries out a pending
+		// host conviction.
+		if p.Policy == HostExclusion {
+			act := s.AddActivity(san.ActivityDef{
+				Name:     hostScope + ".shut_host",
+				Kind:     san.Instant,
+				Priority: 10,
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.HostExclPending[g]) == 1 && st.Get(m.HostExcluded[g]) == 0
+				},
+				Reads: []*san.Place{m.HostExclPending[g], m.HostExcluded[g]},
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					ctx.State.Set(m.HostExclPending[g], 0)
+					excludeHost(ctx.State, g)
+				}}},
+			})
+			m.shutActivity[act.Name()] = true
+		}
+	}
+
+	// ---- domain activities ----------------------------------------------
+	if p.Policy == DomainExclusion {
+		for d := 0; d < D; d++ {
+			d := d
+			act := s.AddActivity(san.ActivityDef{
+				Name:     fmt.Sprintf("domain[%d].shut_domain", d),
+				Kind:     san.Instant,
+				Priority: 10,
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.ExclPending[d]) == 1 && st.Get(m.DomExcluded[d]) == 0
+				},
+				Reads: []*san.Place{m.ExclPending[d], m.DomExcluded[d]},
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					ctx.State.Set(m.ExclPending[d], 0)
+					excludeDomain(ctx.State, d)
+				}}},
+			})
+			m.shutActivity[act.Name()] = true
+		}
+	}
+
+	// ---- replica activities ----------------------------------------------
+	// Conservative dependency sets for activities whose host is dynamic.
+	allHostStatus := append([]*san.Place(nil), m.HostStatus...)
+	quorumReads := []*san.Place{m.UndetMgrs, m.MgrsRunning}
+	quorumReads = append(quorumReads, m.DomMgrsCorrupt...)
+	quorumReads = append(quorumReads, m.DomMgrsUp...)
+
+	for a := 0; a < A; a++ {
+		a := a
+		for r := 0; r < R; r++ {
+			r := r
+			repScope := fmt.Sprintf("app[%d].rep[%d]", a, r)
+			onHost, corrupt := m.OnHost[a][r], m.RepCorrupt[a][r]
+			convicted, detectDone := m.RepConvicted[a][r], m.RepDetectDone[a][r]
+
+			// attack_rep: the rate is multiplied by CorruptionMult when the
+			// host the replica runs on is corrupted, and grows with the
+			// attack spread recorded in the replica's domain (the attacker
+			// who has spread through a domain attacks everything in it).
+			reads := []*san.Place{onHost, corrupt, convicted}
+			reads = append(reads, allHostStatus...)
+			reads = append(reads, m.SpreadDom...)
+			s.AddActivity(san.ActivityDef{
+				Name: repScope + ".attack_rep",
+				Kind: san.Timed,
+				Dist: func(st *san.State) rng.Dist {
+					rate := rt.replicaAttack
+					if g := st.Int(onHost) - 1; g >= 0 {
+						if st.Get(m.HostStatus[g]) > 0 {
+							rate *= p.CorruptionMult
+						}
+						boost := p.DomainSpreadRate * float64(st.Get(m.SpreadDom[g/H]))
+						rate *= 1 + p.AssetSpreadCoeff*boost
+					}
+					return rng.Expo(rate)
+				},
+				Enabled: func(st *san.State) bool {
+					return rt.replicaAttack > 0 && st.Get(onHost) > 0 &&
+						st.Get(corrupt) == 0 && st.Get(convicted) == 0
+				},
+				Reads: reads,
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					ctx.State.Set(corrupt, 1)
+					ctx.State.Add(m.Undet[a], 1)
+					ctx.State.Add(m.Intrusions, 1)
+					checkByzantine(ctx.State, a)
+				}}},
+			})
+
+			// valid_ID: one intrusion-detection trial per replica
+			// corruption (probability DetectReplica of conviction).
+			s.AddActivity(san.ActivityDef{
+				Name: repScope + ".valid_ID",
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(p.ReplicaDetectRate) },
+				Enabled: func(st *san.State) bool {
+					return p.ReplicaDetectRate > 0 && st.Get(corrupt) == 1 &&
+						st.Get(convicted) == 0 && st.Get(detectDone) == 0
+				},
+				Reads: []*san.Place{corrupt, convicted, detectDone},
+				Cases: []san.Case{
+					{Name: "detect", Prob: p.DetectReplica, Effect: func(ctx *san.Context) {
+						ctx.State.Set(detectDone, 1)
+						ctx.State.Set(convicted, 1)
+						ctx.State.Add(m.Undet[a], -1)
+					}},
+					{Name: "miss", Prob: 1 - p.DetectReplica, Effect: func(ctx *san.Context) {
+						ctx.State.Set(detectDone, 1)
+					}},
+				},
+			})
+
+			// rep_misbehave: a corrupt replica shows anomalous behaviour
+			// and is always convicted by the group, provided less than a
+			// third of the currently running replicas are corrupt.
+			s.AddActivity(san.ActivityDef{
+				Name: repScope + ".rep_misbehave",
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(p.MisbehaveRate) },
+				Enabled: func(st *san.State) bool {
+					return p.MisbehaveRate > 0 && st.Get(corrupt) == 1 && st.Get(convicted) == 0 &&
+						st.Int(m.Running[a]) > 3*st.Int(m.Undet[a])
+				},
+				Reads: []*san.Place{corrupt, convicted, m.Running[a], m.Undet[a]},
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					ctx.State.Set(convicted, 1)
+					ctx.State.Add(m.Undet[a], -1)
+				}}},
+			})
+
+			// false_ID: a false alarm convicts an innocent running replica;
+			// like the host-level alarms it is enabled only while no real
+			// intrusion has happened.
+			s.AddActivity(san.ActivityDef{
+				Name: repScope + ".false_ID",
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(rt.replicaFalse) },
+				Enabled: func(st *san.State) bool {
+					return rt.replicaFalse > 0 && st.Get(onHost) > 0 &&
+						st.Get(corrupt) == 0 && st.Get(convicted) == 0 &&
+						st.Get(m.Intrusions) == 0
+				},
+				Reads: []*san.Place{onHost, corrupt, convicted, m.Intrusions},
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					ctx.State.Set(convicted, 1)
+				}}},
+			})
+
+			// respond: the managers act on a convicted replica once either
+			// the domain's manager group is correct or the system-wide
+			// manager group has a good quorum, requesting the configured
+			// exclusion.
+			respondReads := []*san.Place{convicted, onHost}
+			respondReads = append(respondReads, quorumReads...)
+			s.AddActivity(san.ActivityDef{
+				Name:     repScope + ".respond",
+				Kind:     san.Instant,
+				Priority: 5,
+				Enabled: func(st *san.State) bool {
+					g := st.Int(onHost) - 1
+					if st.Get(convicted) != 1 || g < 0 {
+						return false
+					}
+					return domainGroupOK(st, g/H) || globalQuorumOK(st)
+				},
+				Reads: respondReads,
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					g := ctx.State.Int(onHost) - 1
+					if p.ExcludeOnReplicaConviction {
+						requestExclusion(ctx.State, g)
+						return
+					}
+					killReplicaSlot(ctx.State, a, r, g)
+				}}},
+			})
+		}
+
+		// recovery: the management algorithm starts one replacement
+		// replica on a uniformly chosen qualifying domain and a uniformly
+		// chosen non-excluded host within it (Sections 2 and 3.3).
+		recoveryReads := []*san.Place{m.NeedRecovery[a], m.UndetMgrs, m.MgrsRunning}
+		recoveryReads = append(recoveryReads, m.DomExcluded...)
+		recoveryReads = append(recoveryReads, m.HasReplica[a]...)
+		recoveryReads = append(recoveryReads, m.HostExcluded...)
+		qualifying := func(st *san.State, d int) bool {
+			if st.Get(m.DomExcluded[d]) == 1 || st.Get(m.HasReplica[a][d]) == 1 {
+				return false
+			}
+			for h := 0; h < H; h++ {
+				if st.Get(m.HostExcluded[d*H+h]) == 0 {
+					return true
+				}
+			}
+			return false
+		}
+		s.AddActivity(san.ActivityDef{
+			Name: fmt.Sprintf("app[%d].recovery", a),
+			Kind: san.Timed,
+			Dist: func(*san.State) rng.Dist { return rng.Expo(p.RecoveryRate) },
+			Enabled: func(st *san.State) bool {
+				if st.Get(m.NeedRecovery[a]) == 0 || !globalQuorumOK(st) {
+					return false
+				}
+				for d := 0; d < D; d++ {
+					if qualifying(st, d) {
+						return true
+					}
+				}
+				return false
+			},
+			Reads: recoveryReads,
+			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+				st := ctx.State
+				var doms []int
+				for d := 0; d < D; d++ {
+					if qualifying(st, d) {
+						doms = append(doms, d)
+					}
+				}
+				d := doms[ctx.Rand.Choose(len(doms))]
+				g := chooseHost(ctx, d)
+				slot := -1
+				for r := 0; r < R; r++ {
+					if st.Get(m.OnHost[a][r]) == 0 {
+						slot = r
+						break
+					}
+				}
+				if slot < 0 {
+					panic("core: recovery with no free replica slot")
+				}
+				st.Set(m.OnHost[a][slot], san.Marking(g+1))
+				st.Set(m.HasReplica[a][d], 1)
+				st.Add(m.NumReplicas[g], 1)
+				st.Add(m.Running[a], 1)
+				st.Add(m.NeedRecovery[a], -1)
+			}}},
+		})
+	}
+
+	if err := s.Finalize(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,548 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/san"
+	"ituaval/internal/sim"
+)
+
+func mustBuild(t *testing.T, p Params) *Model {
+	t.Helper()
+	m, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.NumDomains = 3
+	p.HostsPerDomain = 2
+	p.NumApps = 2
+	p.RepsPerApp = 3
+	return p
+}
+
+// invariantVar returns a reward variable that checks every structural
+// invariant of the ITUA model in every visited state (including vanishing
+// markings) and emits the number of violations (which must be zero).
+func invariantVar(m *Model) (reward.Var, *[]string) {
+	violations := &[]string{}
+	check := func(s *san.State, when float64) {
+		report := func(format string, args ...interface{}) {
+			if len(*violations) < 20 {
+				*violations = append(*violations, fmt.Sprintf("t=%.4f: ", when)+fmt.Sprintf(format, args...))
+			}
+		}
+		p := m.Params
+		D, H := p.NumDomains, p.HostsPerDomain
+
+		hostsUp, mgrsCorrupt := 0, 0
+		for g := range m.HostStatus {
+			excluded := s.Get(m.HostExcluded[g]) == 1
+			if !excluded {
+				hostsUp++
+			}
+			if s.Get(m.MgrStatus[g]) == 1 {
+				mgrsCorrupt++
+				if excluded {
+					report("excluded host %d still has corrupt-undetected manager", g)
+				}
+			}
+			if excluded && s.Get(m.MgrStatus[g]) != 2 {
+				report("excluded host %d manager status %d", g, s.Get(m.MgrStatus[g]))
+			}
+			if excluded && s.Get(m.NumReplicas[g]) != 0 {
+				report("excluded host %d has %d replicas", g, s.Get(m.NumReplicas[g]))
+			}
+		}
+		if s.Int(m.MgrsRunning) != hostsUp {
+			report("mgrs_running=%d but %d hosts up", s.Get(m.MgrsRunning), hostsUp)
+		}
+		if s.Int(m.UndetMgrs) != mgrsCorrupt {
+			report("undetected_corr_mgrs=%d but %d corrupt managers", s.Get(m.UndetMgrs), mgrsCorrupt)
+		}
+
+		domExcluded := 0
+		for d := 0; d < D; d++ {
+			up, corrupt := 0, 0
+			for h := 0; h < H; h++ {
+				g := d*H + h
+				if s.Get(m.HostExcluded[g]) == 0 {
+					up++
+				}
+				if s.Get(m.MgrStatus[g]) == 1 {
+					corrupt++
+				}
+			}
+			if s.Int(m.DomMgrsUp[d]) != up {
+				report("domain %d mgrs_up=%d want %d", d, s.Get(m.DomMgrsUp[d]), up)
+			}
+			if s.Int(m.DomMgrsCorrupt[d]) != corrupt {
+				report("domain %d mgrs_corrupt=%d want %d", d, s.Get(m.DomMgrsCorrupt[d]), corrupt)
+			}
+			if s.Get(m.DomExcluded[d]) == 1 {
+				domExcluded++
+				if up != 0 {
+					report("excluded domain %d has %d hosts up", d, up)
+				}
+			}
+		}
+		if s.Int(m.DomainsExcluded) != domExcluded {
+			report("domains_excluded=%d want %d", s.Get(m.DomainsExcluded), domExcluded)
+		}
+
+		for a := 0; a < p.NumApps; a++ {
+			running, undet := 0, 0
+			perDomain := make([]int, D)
+			perHost := make(map[int]int)
+			for r := 0; r < p.RepsPerApp; r++ {
+				g := s.Int(m.OnHost[a][r]) - 1
+				if g < 0 {
+					if s.Get(m.RepCorrupt[a][r]) != 0 || s.Get(m.RepConvicted[a][r]) != 0 {
+						report("empty slot app %d rep %d has corruption state", a, r)
+					}
+					continue
+				}
+				running++
+				perDomain[g/H]++
+				perHost[g]++
+				if s.Get(m.HostExcluded[g]) == 1 {
+					report("app %d rep %d runs on excluded host %d", a, r, g)
+				}
+				if s.Get(m.RepCorrupt[a][r]) == 1 && s.Get(m.RepConvicted[a][r]) == 0 {
+					undet++
+				}
+			}
+			if s.Int(m.Running[a]) != running {
+				report("app %d replicas_running=%d want %d", a, s.Get(m.Running[a]), running)
+			}
+			if s.Int(m.Undet[a]) != undet {
+				report("app %d rep_corr_undetected=%d want %d", a, s.Get(m.Undet[a]), undet)
+			}
+			for d := 0; d < D; d++ {
+				if perDomain[d] > 1 {
+					report("app %d has %d replicas in domain %d", a, perDomain[d], d)
+				}
+				want := san.Marking(0)
+				if perDomain[d] == 1 {
+					want = 1
+				}
+				if s.Get(m.HasReplica[a][d]) != want {
+					report("app %d has_replica[%d]=%d want %d", a, d, s.Get(m.HasReplica[a][d]), want)
+				}
+			}
+		}
+		for g := range m.NumReplicas {
+			count := 0
+			for a := 0; a < p.NumApps; a++ {
+				for r := 0; r < p.RepsPerApp; r++ {
+					if s.Int(m.OnHost[a][r]) == g+1 {
+						count++
+					}
+				}
+			}
+			if s.Int(m.NumReplicas[g]) != count {
+				report("host %d num_replicas=%d want %d", g, s.Get(m.NumReplicas[g]), count)
+			}
+		}
+	}
+
+	var latches []int // GrpFail latches must be monotone
+	v := &reward.Func{VarName: "invariants", New: func() reward.Observer {
+		latches = make([]int, m.Params.NumApps)
+		return &invariantObs{m: m, check: check, violations: violations, latches: latches}
+	}}
+	return v, violations
+}
+
+type invariantObs struct {
+	m          *Model
+	check      func(*san.State, float64)
+	violations *[]string
+	latches    []int
+}
+
+func (o *invariantObs) Init(s *san.State, t float64) { o.check(s, t); o.latch(s, t) }
+func (o *invariantObs) Advance(s *san.State, t0, t1 float64) {
+}
+func (o *invariantObs) Fired(s *san.State, a *san.Activity, c int, t float64) {
+	o.check(s, t)
+	o.latch(s, t)
+}
+func (o *invariantObs) Done(s *san.State, t float64) { o.check(s, t) }
+func (o *invariantObs) latch(s *san.State, t float64) {
+	for a, prev := range o.latches {
+		cur := s.Int(o.m.GrpFail[a])
+		if cur < prev {
+			*o.violations = append(*o.violations, fmt.Sprintf("t=%.4f: app %d rep_grp_failure unlatched", t, a))
+		}
+		o.latches[a] = cur
+	}
+}
+func (o *invariantObs) Results(emit func(float64)) { emit(float64(len(*o.violations))) }
+
+func runInvariants(t *testing.T, p Params, reps int, until float64, seed uint64) {
+	t.Helper()
+	m := mustBuild(t, p)
+	v, violations := invariantVar(m)
+	res, err := sim.Run(sim.Spec{
+		Model: m.SAN, Until: until, Reps: reps, Seed: seed,
+		Vars: []reward.Var{v}, Validate: true, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MustGet("invariants").Max > 0 {
+		t.Fatalf("invariant violations:\n%s", strings.Join(*violations, "\n"))
+	}
+}
+
+func TestInvariantsDomainExclusion(t *testing.T) {
+	runInvariants(t, smallParams(), 60, 10, 11)
+}
+
+func TestInvariantsHostExclusion(t *testing.T) {
+	p := smallParams()
+	p.Policy = HostExclusion
+	runInvariants(t, p, 60, 10, 12)
+}
+
+func TestInvariantsSingleHostDomains(t *testing.T) {
+	p := smallParams()
+	p.NumDomains = 6
+	p.HostsPerDomain = 1
+	p.RepsPerApp = 7 // more replicas than domains
+	runInvariants(t, p, 60, 10, 13)
+}
+
+func TestInvariantsOneDomain(t *testing.T) {
+	p := smallParams()
+	p.NumDomains = 1
+	p.HostsPerDomain = 4
+	runInvariants(t, p, 60, 10, 14)
+}
+
+func TestInvariantsHighSpread(t *testing.T) {
+	p := smallParams()
+	p.NumDomains = 4
+	p.HostsPerDomain = 3
+	p.DomainSpreadRate = 10
+	p.CorruptionMult = 5
+	runInvariants(t, p, 60, 10, 15)
+	p.Policy = HostExclusion
+	runInvariants(t, p, 60, 10, 16)
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.NumDomains = 0 },
+		func(p *Params) { p.HostsPerDomain = 0 },
+		func(p *Params) { p.NumApps = 0 },
+		func(p *Params) { p.NumApps = 16 },
+		func(p *Params) { p.RepsPerApp = 0 },
+		func(p *Params) { p.Policy = 0 },
+		func(p *Params) { p.TotalAttackRate = -1 },
+		func(p *Params) { p.PScript = 1.5 },
+		func(p *Params) { p.PScript, p.PExploratory, p.PInnovative = 0, 0, 0 },
+		func(p *Params) { p.DetectReplica = -0.1 },
+		func(p *Params) { p.CorruptionMult = 0.5 },
+		func(p *Params) { p.RecoveryRate = 0 },
+		func(p *Params) { p.AttackSplitHost, p.AttackSplitReplica, p.AttackSplitMgr = 0, 0, 0 },
+		func(p *Params) { p.FalseSplitHost, p.FalseSplitReplica = 0, 0 },
+		func(p *Params) { p.DomainSpreadRate = -1 },
+		func(p *Params) { p.SpreadRateCoeff = -1 },
+	}
+	for i, mutate := range cases {
+		p := smallParams()
+		mutate(&p)
+		if _, err := Build(p); err == nil {
+			t.Errorf("case %d: Build accepted invalid params", i)
+		}
+	}
+}
+
+func TestModelStructure(t *testing.T) {
+	p := smallParams() // 3 domains × 2 hosts, 2 apps × 3 reps
+	m := mustBuild(t, p)
+	// Activities per host: attack_host, prop_dom, prop_sys, attack_mgmt,
+	// 3× valid_ID class, valid_ID_mgr, false_ID = 9. Per slot: attack_rep,
+	// valid_ID, rep_misbehave, false_ID, respond = 5. Per app: recovery.
+	// Per domain: shut_domain.
+	wantActs := 6*9 + 2*3*5 + 2 + 3
+	if got := len(m.SAN.Activities()); got != wantActs {
+		t.Fatalf("activities = %d, want %d", got, wantActs)
+	}
+	if m.SAN.PlaceByName("domain[2].host[1].status") == nil {
+		t.Fatal("expected scoped host place name")
+	}
+	if m.SAN.ActivityByName("domain[0].shut_domain") == nil {
+		t.Fatal("expected shut_domain activity")
+	}
+
+	p.Policy = HostExclusion
+	m2 := mustBuild(t, p)
+	wantActs2 := 6*10 + 2*3*5 + 2 // shut_host per host instead of shut_domain per domain
+	if got := len(m2.SAN.Activities()); got != wantActs2 {
+		t.Fatalf("host-exclusion activities = %d, want %d", got, wantActs2)
+	}
+}
+
+func TestInitialPlacement(t *testing.T) {
+	// Initial replicas = min(reps, domains), one per domain.
+	for _, tc := range []struct{ domains, reps, want int }{
+		{1, 7, 1}, {3, 7, 3}, {12, 7, 7}, {4, 2, 2},
+	} {
+		p := smallParams()
+		p.NumDomains = tc.domains
+		p.HostsPerDomain = 2
+		p.RepsPerApp = tc.reps
+		m := mustBuild(t, p)
+		res, err := sim.Run(sim.Spec{
+			Model: m.SAN, Until: 0.0001, Reps: 8, Seed: 3,
+			Vars: []reward.Var{m.ReplicasRunning("r0", 0, 0)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.MustGet("r0").Mean; got != float64(tc.want) {
+			t.Fatalf("domains=%d reps=%d: initial running %v, want %d", tc.domains, tc.reps, got, tc.want)
+		}
+	}
+}
+
+func TestNoAttacksNoFailures(t *testing.T) {
+	p := smallParams()
+	p.TotalAttackRate = 0
+	p.TotalFalseAlarmRate = 0
+	m := mustBuild(t, p)
+	res, err := sim.Run(sim.Spec{
+		Model: m.SAN, Until: 10, Reps: 20, Seed: 7, Validate: true,
+		Vars: []reward.Var{
+			m.Unavailability("unavail", 0, 0, 10),
+			m.Unreliability("unrel", 0, 10),
+			m.FracDomainsExcluded("excl", 10),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"unavail", "unrel", "excl"} {
+		if got := res.MustGet(name).Mean; got != 0 {
+			t.Fatalf("%s = %v with no attacks", name, got)
+		}
+	}
+}
+
+func TestFalseAlarmsAloneExcludeDomains(t *testing.T) {
+	// With only false alarms, domains still get excluded (the paper's
+	// explanation for Fig 3(c)'s fraction being below 1 at one host per
+	// domain) and the corrupt fraction at exclusion is exactly 0.
+	p := smallParams()
+	p.TotalAttackRate = 0
+	m := mustBuild(t, p)
+	res, err := sim.Run(sim.Spec{
+		Model: m.SAN, Until: 10, Reps: 60, Seed: 8, Validate: true,
+		Vars: []reward.Var{
+			m.FracDomainsExcluded("excl", 10),
+			m.FracCorruptHostsAtExclusion("corrfrac", 10),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MustGet("excl").Mean; got <= 0 {
+		t.Fatalf("no domains excluded by false alarms: %v", got)
+	}
+	cf := res.MustGet("corrfrac")
+	if cf.N == 0 || cf.Mean != 0 {
+		t.Fatalf("corrupt fraction at exclusion = %v (n=%d), want 0", cf.Mean, cf.N)
+	}
+}
+
+func TestUnreliabilityMatchesLatch(t *testing.T) {
+	// The paper's rep_grp_failure latch and the first-passage definition
+	// must agree on every replication.
+	p := smallParams()
+	m := mustBuild(t, p)
+	res, err := sim.Run(sim.Spec{
+		Model: m.SAN, Until: 8, Reps: 300, Seed: 9, Workers: 1,
+		Vars: []reward.Var{
+			m.Unreliability("fp", 0, 8),
+			m.GroupFailed("latch", 0, 8),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, latch := res.MustGet("fp"), res.MustGet("latch")
+	if fp.Mean != latch.Mean {
+		t.Fatalf("first-passage unreliability %v != latch unreliability %v", fp.Mean, latch.Mean)
+	}
+}
+
+func TestReproducibleAcrossBuilds(t *testing.T) {
+	// Two independent Build calls must produce identical simulations for
+	// the same seed (activity ordering is deterministic).
+	run := func() float64 {
+		m := mustBuild(t, smallParams())
+		res, err := sim.Run(sim.Spec{
+			Model: m.SAN, Until: 5, Reps: 30, Seed: 10, Workers: 1,
+			Vars: []reward.Var{m.Unavailability("u", 0, 0, 5)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MustGet("u").Mean
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different results across builds: %v vs %v", a, b)
+	}
+}
+
+func TestPolicyDivergence(t *testing.T) {
+	// Under host exclusion no domain is ever marked excluded; under domain
+	// exclusion no lone host is.
+	p := smallParams()
+	m := mustBuild(t, p)
+	vNone := &reward.AtTime{VarName: "hostOnly", T: 10, F: func(s *san.State) float64 {
+		// count hosts excluded while their domain is not
+		n := 0.0
+		for g := range m.HostExcluded {
+			if s.Get(m.HostExcluded[g]) == 1 && s.Get(m.DomExcluded[g/p.HostsPerDomain]) == 0 {
+				n++
+			}
+		}
+		return n
+	}}
+	res, err := sim.Run(sim.Spec{Model: m.SAN, Until: 10, Reps: 40, Seed: 21, Vars: []reward.Var{vNone}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MustGet("hostOnly").Max != 0 {
+		t.Fatal("domain-exclusion policy excluded an individual host")
+	}
+
+	p.Policy = HostExclusion
+	m2 := mustBuild(t, p)
+	vDom := m2.FracDomainsExcluded("dom", 10)
+	res2, err := sim.Run(sim.Spec{Model: m2.SAN, Until: 10, Reps: 40, Seed: 21, Vars: []reward.Var{vDom}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MustGet("dom").Max != 0 {
+		t.Fatal("host-exclusion policy marked a whole domain excluded")
+	}
+}
+
+func TestDeriveRatesSumToTotals(t *testing.T) {
+	p := smallParams()
+	r := p.derive()
+	hosts := float64(p.NumHosts())
+	replicas := float64(p.NumApps * p.RepsPerApp) // reps <= domains here
+	if p.RepsPerApp > p.NumDomains {
+		replicas = float64(p.NumApps * p.NumDomains)
+	}
+	totalAttack := r.hostAttack*hosts + r.replicaAttack*replicas + r.mgrAttack*hosts
+	if diff := totalAttack - p.TotalAttackRate; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("attack rates sum to %v, want %v", totalAttack, p.TotalAttackRate)
+	}
+	totalFalse := r.hostFalse*hosts + r.replicaFalse*replicas
+	if diff := totalFalse - p.TotalFalseAlarmRate; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("false-alarm rates sum to %v, want %v", totalFalse, p.TotalFalseAlarmRate)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if DomainExclusion.String() != "domain-exclusion" || HostExclusion.String() != "host-exclusion" {
+		t.Fatal("policy names")
+	}
+	if !strings.Contains(Policy(9).String(), "9") {
+		t.Fatal("unknown policy formatting")
+	}
+}
+
+func TestTimeMeasures(t *testing.T) {
+	p := smallParams()
+	m := mustBuild(t, p)
+	res, err := sim.Run(sim.Spec{
+		Model: m.SAN, Until: 10, Reps: 400, Seed: 30,
+		Vars: []reward.Var{
+			m.TimeToByzantine("ttb", 0),
+			m.TimeToFirstExclusion("tte"),
+			m.Unreliability("unrel", 0, 10),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttb := res.MustGet("ttb")
+	unrel := res.MustGet("unrel")
+	// The number of time observations must equal the number of failures.
+	if ttb.N != int64(unrel.Mean*float64(unrel.N)+0.5) {
+		t.Fatalf("ttb N=%d, unreliable reps=%v", ttb.N, unrel.Mean*float64(unrel.N))
+	}
+	if ttb.N > 0 && (ttb.Min < 0 || ttb.Max > 10) {
+		t.Fatalf("Byzantine times outside horizon: [%v, %v]", ttb.Min, ttb.Max)
+	}
+	tte := res.MustGet("tte")
+	if tte.N == 0 || tte.Min < 0 || tte.Max > 10 {
+		t.Fatalf("exclusion times suspicious: n=%d [%v, %v]", tte.N, tte.Min, tte.Max)
+	}
+}
+
+func TestPlacementStrategiesKeepInvariants(t *testing.T) {
+	for _, placement := range []Placement{LeastLoadedPlacement, WeightedRandomPlacement} {
+		p := smallParams()
+		p.Placement = placement
+		runInvariants(t, p, 40, 10, 17)
+	}
+}
+
+func TestLeastLoadedBalancesInitialPlacement(t *testing.T) {
+	// With 1 domain of many hosts, many apps, and least-loaded placement,
+	// initial replicas spread perfectly (one per host until wrap-around).
+	p := smallParams()
+	p.NumDomains = 1
+	p.HostsPerDomain = 8
+	p.NumApps = 8
+	p.RepsPerApp = 1
+	p.Placement = LeastLoadedPlacement
+	p.TotalAttackRate = 0
+	p.TotalFalseAlarmRate = 0
+	m := mustBuild(t, p)
+	res, err := sim.Run(sim.Spec{
+		Model: m.SAN, Until: 0.001, Reps: 10, Seed: 31,
+		Vars: []reward.Var{m.LoadPerHost("load", 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MustGet("load"); got.Min != 1 || got.Max != 1 {
+		t.Fatalf("least-loaded initial load = [%v, %v], want exactly 1", got.Min, got.Max)
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	p := smallParams()
+	p.Placement = 0
+	if _, err := Build(p); err == nil {
+		t.Fatal("zero placement accepted")
+	}
+	p.Placement = 99
+	if _, err := Build(p); err == nil {
+		t.Fatal("invalid placement accepted")
+	}
+	if UniformPlacement.String() != "uniform" || LeastLoadedPlacement.String() != "least-loaded" ||
+		WeightedRandomPlacement.String() != "weighted-random" {
+		t.Fatal("placement names")
+	}
+	if !strings.Contains(Placement(9).String(), "9") {
+		t.Fatal("unknown placement formatting")
+	}
+}

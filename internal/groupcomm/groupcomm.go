@@ -1,0 +1,359 @@
+// Package groupcomm implements the intrusion-tolerant group-communication
+// substrate the ITUA architecture builds on (Section 2 of the paper: "an
+// intrusion-tolerant group communication system is used to multicast among
+// replica groups and the manager group", with "authenticated Byzantine
+// agreement under a timed-asynchronous environment"). The paper models this
+// layer by its guarantee — a group with fewer than one third of its active
+// members corrupt reaches consensus — and this package provides the
+// executable grounding for that guarantee: Bracha's authenticated reliable
+// broadcast and a conviction-vote primitive, running over a simulated
+// message network with adversarial (Byzantine) members, together with tests
+// that demonstrate the properties hold exactly when f < n/3.
+package groupcomm
+
+import (
+	"fmt"
+	"sort"
+
+	"ituaval/internal/rng"
+)
+
+// ProcessID identifies a group member. Channels are authenticated: a
+// received message's From field cannot be forged, which is the
+// "authenticated Byzantine agreement" assumption of the paper.
+type ProcessID int
+
+// MsgType is the Bracha protocol phase of a message.
+type MsgType int
+
+const (
+	// MsgInit carries the sender's proposed value.
+	MsgInit MsgType = iota + 1
+	// MsgEcho is the witness phase.
+	MsgEcho
+	// MsgReady is the delivery-commitment phase.
+	MsgReady
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgInit:
+		return "INIT"
+	case MsgEcho:
+		return "ECHO"
+	case MsgReady:
+		return "READY"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Message is one authenticated protocol message.
+type Message struct {
+	From  ProcessID
+	To    ProcessID
+	Type  MsgType
+	Value string
+}
+
+// Behavior scripts a Byzantine member: given the messages it received this
+// round, it returns arbitrary messages to inject next round (the From field
+// is forced to its own identity by the network — authentication).
+type Behavior interface {
+	Act(self ProcessID, group []ProcessID, round int, received []Message) []Message
+}
+
+// Network simulates reliable authenticated point-to-point channels with
+// round-based delivery: messages sent in round r arrive in round r+1.
+// Reliability (no loss between correct processes) matches the paper's
+// timed-asynchronous model after timeout handling.
+type Network struct {
+	pending []Message
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network { return &Network{} }
+
+// Send queues m for delivery next round. The From field is trusted by the
+// caller (the runner enforces authenticity for Byzantine members).
+func (n *Network) Send(m Message) { n.pending = append(n.pending, m) }
+
+// Deliver moves pending messages into inboxes and returns each process's
+// batch for the new round.
+func (n *Network) Deliver() map[ProcessID][]Message {
+	out := make(map[ProcessID][]Message)
+	for _, m := range n.pending {
+		out[m.To] = append(out[m.To], m)
+	}
+	n.pending = n.pending[:0]
+	return out
+}
+
+// Quiet reports whether no messages are in flight.
+func (n *Network) Quiet() bool { return len(n.pending) == 0 }
+
+// bracha is the per-process state of Bracha's reliable broadcast.
+type bracha struct {
+	self      ProcessID
+	n, f      int
+	sentEcho  bool
+	sentReady bool
+	delivered bool
+	value     string
+	echoes    map[string]map[ProcessID]bool
+	readies   map[string]map[ProcessID]bool
+}
+
+func newBracha(self ProcessID, n, f int) *bracha {
+	return &bracha{
+		self: self, n: n, f: f,
+		echoes:  make(map[string]map[ProcessID]bool),
+		readies: make(map[string]map[ProcessID]bool),
+	}
+}
+
+// step consumes one received message and returns the messages to multicast
+// (one per group member is produced by the runner).
+func (b *bracha) step(m Message, sender ProcessID) (broadcast []Message) {
+	record := func(set map[string]map[ProcessID]bool, v string, from ProcessID) int {
+		if set[v] == nil {
+			set[v] = make(map[ProcessID]bool)
+		}
+		set[v][from] = true
+		return len(set[v])
+	}
+	mark := func(t MsgType, v string) {
+		broadcast = append(broadcast, Message{From: b.self, Type: t, Value: v})
+	}
+	switch m.Type {
+	case MsgInit:
+		// Only the designated sender's INIT counts.
+		if m.From == sender && !b.sentEcho {
+			b.sentEcho = true
+			mark(MsgEcho, m.Value)
+		}
+	case MsgEcho:
+		count := record(b.echoes, m.Value, m.From)
+		// Echo threshold: > (n+f)/2 distinct echoes.
+		if !b.sentReady && 2*count > b.n+b.f {
+			b.sentReady = true
+			mark(MsgReady, m.Value)
+		}
+	case MsgReady:
+		count := record(b.readies, m.Value, m.From)
+		if !b.sentReady && count > b.f {
+			// Ready amplification: f+1 readies prove a correct process
+			// committed, so join.
+			b.sentReady = true
+			mark(MsgReady, m.Value)
+		}
+		if !b.delivered && count > 2*b.f {
+			b.delivered = true
+			b.value = m.Value
+		}
+	}
+	return broadcast
+}
+
+// BroadcastResult reports the outcome of one reliable broadcast.
+type BroadcastResult struct {
+	// Delivered maps every correct process to the value it delivered;
+	// processes that never delivered are absent.
+	Delivered map[ProcessID]string
+	// Rounds is the number of simulated rounds executed.
+	Rounds int
+}
+
+// Group describes one reliable-broadcast experiment.
+type Group struct {
+	// N is the group size; processes are 0..N-1.
+	N int
+	// Faulty lists the Byzantine members and their behaviors.
+	Faulty map[ProcessID]Behavior
+	// Tolerance is the fault bound f the protocol is configured for
+	// (0 = the actual number of faulty members). Setting it below the
+	// actual count models a deployment whose one-third assumption is
+	// violated — the regime in which the paper's groups "become unable to
+	// reach consensus".
+	Tolerance int
+	// MaxRounds bounds the simulation (default 50).
+	MaxRounds int
+}
+
+// members returns all process ids.
+func (g Group) members() []ProcessID {
+	ids := make([]ProcessID, g.N)
+	for i := range ids {
+		ids[i] = ProcessID(i)
+	}
+	return ids
+}
+
+// f returns the fault bound the protocol runs with.
+func (g Group) f() int {
+	if g.Tolerance > 0 {
+		return g.Tolerance
+	}
+	return len(g.Faulty)
+}
+
+// ReliableBroadcast runs Bracha's protocol with the given sender and value.
+// If the sender is Byzantine its behavior script speaks first (it may
+// equivocate); a correct sender multicasts INIT(value).
+func ReliableBroadcast(g Group, sender ProcessID, value string) BroadcastResult {
+	if g.MaxRounds <= 0 {
+		g.MaxRounds = 50
+	}
+	net := NewNetwork()
+	group := g.members()
+	states := make(map[ProcessID]*bracha)
+	for _, id := range group {
+		if _, bad := g.Faulty[id]; !bad {
+			states[id] = newBracha(id, g.N, g.f())
+		}
+	}
+	received := make(map[ProcessID][]Message)
+
+	// Round 0: the sender speaks.
+	if _, bad := g.Faulty[sender]; !bad {
+		for _, to := range group {
+			net.Send(Message{From: sender, To: to, Type: MsgInit, Value: value})
+		}
+	}
+
+	rounds := 0
+	for ; rounds < g.MaxRounds; rounds++ {
+		// Byzantine members act on what they received last round (the
+		// sender's script also runs in round 0 so it can equivocate).
+		// Sorted iteration keeps runs reproducible when behaviors draw
+		// random numbers.
+		faultyIDs := make([]ProcessID, 0, len(g.Faulty))
+		for id := range g.Faulty {
+			faultyIDs = append(faultyIDs, id)
+		}
+		sort.Slice(faultyIDs, func(i, j int) bool { return faultyIDs[i] < faultyIDs[j] })
+		for _, id := range faultyIDs {
+			for _, m := range g.Faulty[id].Act(id, group, rounds, received[id]) {
+				m.From = id // authentication: cannot forge the sender
+				net.Send(m)
+			}
+		}
+		if net.Quiet() {
+			break
+		}
+		received = net.Deliver()
+		// Correct processes handle their batches deterministically
+		// (sorted) so runs are reproducible.
+		for _, id := range group {
+			st, ok := states[id]
+			if !ok {
+				continue
+			}
+			batch := received[id]
+			sort.Slice(batch, func(i, j int) bool {
+				if batch[i].From != batch[j].From {
+					return batch[i].From < batch[j].From
+				}
+				if batch[i].Type != batch[j].Type {
+					return batch[i].Type < batch[j].Type
+				}
+				return batch[i].Value < batch[j].Value
+			})
+			for _, m := range batch {
+				for _, out := range st.step(m, sender) {
+					for _, to := range group {
+						out.To = to
+						net.Send(out)
+					}
+				}
+			}
+		}
+	}
+
+	res := BroadcastResult{Delivered: make(map[ProcessID]string), Rounds: rounds}
+	for id, st := range states {
+		if st.delivered {
+			res.Delivered[id] = st.value
+		}
+	}
+	return res
+}
+
+// --- Byzantine behavior library -------------------------------------------
+
+// Silent is a crashed/muted Byzantine member.
+type Silent struct{}
+
+// Act implements Behavior.
+func (Silent) Act(ProcessID, []ProcessID, int, []Message) []Message { return nil }
+
+// EquivocatingSender sends INIT(A) to half the group and INIT(B) to the
+// other half in round 0, then echoes both values to everyone.
+type EquivocatingSender struct {
+	A, B string
+}
+
+// Act implements Behavior.
+func (e EquivocatingSender) Act(self ProcessID, group []ProcessID, round int, _ []Message) []Message {
+	var out []Message
+	switch round {
+	case 0:
+		for i, to := range group {
+			v := e.A
+			if i%2 == 1 {
+				v = e.B
+			}
+			out = append(out, Message{To: to, Type: MsgInit, Value: v})
+		}
+	case 1, 2:
+		for i, to := range group {
+			v := e.A
+			if i%2 == 1 {
+				v = e.B
+			}
+			out = append(out, Message{To: to, Type: MsgEcho, Value: v})
+			out = append(out, Message{To: to, Type: MsgReady, Value: v})
+		}
+	}
+	return out
+}
+
+// RandomLiar injects random echoes and readies for adversarially chosen
+// values for a few rounds.
+type RandomLiar struct {
+	Stream *rng.Stream
+	Values []string
+}
+
+// Act implements Behavior.
+func (r RandomLiar) Act(self ProcessID, group []ProcessID, round int, _ []Message) []Message {
+	if round > 6 || len(r.Values) == 0 {
+		return nil
+	}
+	var out []Message
+	for _, to := range group {
+		v := r.Values[r.Stream.Intn(len(r.Values))]
+		t := MsgEcho
+		if r.Stream.Bernoulli(0.5) {
+			t = MsgReady
+		}
+		out = append(out, Message{To: to, Type: t, Value: v})
+	}
+	return out
+}
+
+// Collude makes every faulty member echo/ready a single adversarial value.
+type Collude struct{ Value string }
+
+// Act implements Behavior.
+func (c Collude) Act(self ProcessID, group []ProcessID, round int, _ []Message) []Message {
+	if round > 4 {
+		return nil
+	}
+	var out []Message
+	for _, to := range group {
+		out = append(out, Message{To: to, Type: MsgEcho, Value: c.Value})
+		out = append(out, Message{To: to, Type: MsgReady, Value: c.Value})
+	}
+	return out
+}

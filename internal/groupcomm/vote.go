@@ -1,0 +1,80 @@
+package groupcomm
+
+// Conviction voting: the ITUA managers and replication groups "reach a
+// consensus, either to convict a group member … or to help managers decide
+// where to place a new replica" (Section 2). This file implements the
+// conviction primitive on top of reliable broadcast: each member reliably
+// broadcasts its vote, and a member convicts once it has delivered
+// identical votes from more than two thirds of the group. The paper's
+// enabling condition "less than a third of the currently active group
+// members are corrupt" is exactly the condition under which this primitive
+// is live and safe, which the tests demonstrate.
+
+// VoteResult reports the outcome of a conviction vote.
+type VoteResult struct {
+	// Convicted maps each correct member to whether it convicted the
+	// accused.
+	Convicted map[ProcessID]bool
+	// VotesDelivered counts, per correct member, the guilty votes it
+	// delivered.
+	VotesDelivered map[ProcessID]int
+}
+
+// VoteSpec describes a conviction vote on one accused member.
+type VoteSpec struct {
+	// N is the group size.
+	N int
+	// Faulty are the Byzantine members (they may vote arbitrarily or stay
+	// silent; behaviors drive the underlying broadcasts they originate).
+	Faulty map[ProcessID]Behavior
+	// GuiltyVoters are the correct members that observed the misbehaviour
+	// and vote guilty; other correct members abstain (vote only when they
+	// have evidence — the conservative case for liveness).
+	GuiltyVoters []ProcessID
+	// MaxRounds bounds each underlying broadcast.
+	MaxRounds int
+}
+
+// ConvictionVote runs one vote: every guilty voter reliably broadcasts its
+// vote; every Byzantine member's behavior scripts its own broadcast
+// instance. A correct member convicts when it has delivered guilty votes
+// from more than 2N/3 distinct members.
+func ConvictionVote(spec VoteSpec) VoteResult {
+	g := Group{N: spec.N, Faulty: spec.Faulty, MaxRounds: spec.MaxRounds}
+	votes := make(map[ProcessID]map[ProcessID]bool) // member -> voters whose guilty vote it delivered
+
+	members := g.members()
+	for _, id := range members {
+		if _, bad := spec.Faulty[id]; !bad {
+			votes[id] = make(map[ProcessID]bool)
+		}
+	}
+	record := func(voter ProcessID, res BroadcastResult) {
+		for member, value := range res.Delivered {
+			if value == "guilty" {
+				votes[member][voter] = true
+			}
+		}
+	}
+	// Correct guilty voters broadcast "guilty".
+	for _, voter := range spec.GuiltyVoters {
+		if _, bad := spec.Faulty[voter]; bad {
+			continue
+		}
+		record(voter, ReliableBroadcast(g, voter, "guilty"))
+	}
+	// Byzantine members originate their own (scripted) broadcasts.
+	for id := range spec.Faulty {
+		record(id, ReliableBroadcast(g, id, ""))
+	}
+
+	out := VoteResult{
+		Convicted:      make(map[ProcessID]bool),
+		VotesDelivered: make(map[ProcessID]int),
+	}
+	for member, seen := range votes {
+		out.VotesDelivered[member] = len(seen)
+		out.Convicted[member] = 3*len(seen) > 2*spec.N
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+package ituadirect
+
+import (
+	"math"
+
+	"ituaval/internal/core"
+)
+
+// transition is one enabled exponential event.
+type transition struct {
+	rate  float64
+	apply func()
+}
+
+// collect enumerates every enabled transition in the current state.
+func (s *process) collect(buf []transition) []transition {
+	buf = buf[:0]
+	p := s.p
+
+	for g := range s.hostStatus {
+		g := g
+		if s.hostExcluded[g] {
+			continue
+		}
+		d := s.domainOf(g)
+
+		// Host-OS attack (three classes resolved at application time).
+		if s.hostStatus[g] == 0 && s.hostRate > 0 {
+			rate := s.hostRate * (1 + s.spreadBoost(d))
+			buf = append(buf, transition{rate, func() {
+				s.hostStatus[g] = 1 + s.rs.Category(s.pClass[:])
+				s.intrusions++
+			}})
+		}
+
+		// Spread propagation, once per corrupt host.
+		if s.hostStatus[g] > 0 && !s.propDomDone[g] && p.DomainSpreadRate > 0 {
+			buf = append(buf, transition{p.DomainSpreadRate, func() {
+				s.propDomDone[g] = true
+				s.spreadDom[d]++
+			}})
+		}
+		if s.hostStatus[g] > 0 && !s.propSysDone[g] && p.SystemSpreadRate > 0 {
+			buf = append(buf, transition{p.SystemSpreadRate, func() {
+				s.propSysDone[g] = true
+				s.spreadSys++
+			}})
+		}
+
+		// Manager attack.
+		if !s.mgrCorrupt[g] && !s.mgrRemoved[g] && s.mgrRate > 0 {
+			rate := s.mgrRate * (1 + s.assetBoost(d))
+			if s.hostStatus[g] > 0 {
+				rate *= p.CorruptionMult
+			}
+			buf = append(buf, transition{rate, func() {
+				s.mgrCorrupt[g] = true
+				s.intrusions++
+			}})
+		}
+
+		// Host-OS detection trial (one-shot per corruption).
+		if s.hostStatus[g] > 0 && !s.hostDetected[g] && p.HostDetectRate > 0 {
+			buf = append(buf, transition{p.HostDetectRate, func() {
+				s.hostDetected[g] = true
+				class := s.hostStatus[g] - 1
+				if s.rs.Bernoulli(s.detectClass[class]) &&
+					!s.mgrCorrupt[g] && s.domainGroupOK(d) {
+					s.exclude(g)
+				}
+			}})
+		}
+
+		// Manager detection trial.
+		if s.mgrCorrupt[g] && !s.mgrDetected[g] && p.MgrDetectRate > 0 {
+			buf = append(buf, transition{p.MgrDetectRate, func() {
+				s.mgrDetected[g] = true
+				if s.rs.Bernoulli(p.DetectMgr) &&
+					(s.domainGroupOK(d) || s.globalQuorumOK()) {
+					s.exclude(g)
+				}
+			}})
+		}
+
+		// Host-level false alarm, quenched after the first real intrusion.
+		if s.intrusions == 0 && s.hostFalseRate > 0 {
+			buf = append(buf, transition{s.hostFalseRate, func() {
+				if !s.mgrCorrupt[g] && s.domainGroupOK(d) {
+					s.exclude(g)
+				}
+			}})
+		}
+	}
+
+	for a := range s.onHost {
+		a := a
+		for r := range s.onHost[a] {
+			r := r
+			g := s.onHost[a][r]
+			if g < 0 {
+				continue
+			}
+			d := s.domainOf(g)
+
+			// Replica attack.
+			if !s.repCorrupt[a][r] && !s.repConvicted[a][r] && s.repRate > 0 {
+				rate := s.repRate * (1 + s.assetBoost(d))
+				if s.hostStatus[g] > 0 {
+					rate *= p.CorruptionMult
+				}
+				buf = append(buf, transition{rate, func() {
+					s.repCorrupt[a][r] = true
+					s.undet[a]++
+					s.intrusions++
+					s.checkByzantine(a)
+				}})
+			}
+
+			// Replica IDS detection trial.
+			if s.repCorrupt[a][r] && !s.repConvicted[a][r] && !s.repDetected[a][r] && p.ReplicaDetectRate > 0 {
+				buf = append(buf, transition{p.ReplicaDetectRate, func() {
+					s.repDetected[a][r] = true
+					if s.rs.Bernoulli(p.DetectReplica) {
+						s.convict(a, r)
+					}
+				}})
+			}
+
+			// Group conviction of a misbehaving corrupt replica, enabled
+			// only while the group has a correct two-thirds quorum.
+			if s.repCorrupt[a][r] && !s.repConvicted[a][r] && p.MisbehaveRate > 0 &&
+				s.running[a] > 3*s.undet[a] {
+				buf = append(buf, transition{p.MisbehaveRate, func() {
+					s.convict(a, r)
+				}})
+			}
+
+			// Replica false alarm, quenched after the first intrusion.
+			if s.intrusions == 0 && !s.repCorrupt[a][r] && !s.repConvicted[a][r] && s.repFalseRate > 0 {
+				buf = append(buf, transition{s.repFalseRate, func() {
+					s.convict(a, r)
+				}})
+			}
+		}
+
+		// Recovery of one killed replica.
+		if s.needRec[a] > 0 && s.globalQuorumOK() && s.qualifyingDomainExists(a) {
+			buf = append(buf, transition{p.RecoveryRate, func() {
+				s.recover(a)
+			}})
+		}
+	}
+	return buf
+}
+
+// convict marks the replica convicted and applies the pending response
+// immediately if the manager quorum permits; otherwise the response fires
+// as soon as a later event makes the quorum condition true (checked in
+// drainPending).
+func (s *process) convict(a, r int) {
+	if s.repCorrupt[a][r] {
+		s.undet[a]--
+	}
+	s.repConvicted[a][r] = true
+	s.respondIfAble(a, r)
+}
+
+// respondIfAble performs the management response to a convicted replica.
+func (s *process) respondIfAble(a, r int) {
+	g := s.onHost[a][r]
+	if g < 0 || !s.repConvicted[a][r] {
+		return
+	}
+	if !s.domainGroupOK(s.domainOf(g)) && !s.globalQuorumOK() {
+		return // response pending until quorum recovers
+	}
+	if s.p.ExcludeOnReplicaConviction {
+		s.exclude(g)
+		return
+	}
+	// Restart path: kill only the convicted replica.
+	s.killSlot(a, r)
+}
+
+// drainPending retries responses for convicted replicas that were blocked
+// on manager quorum.
+func (s *process) drainPending() {
+	for a := range s.onHost {
+		for r := range s.onHost[a] {
+			if s.repConvicted[a][r] && s.onHost[a][r] >= 0 {
+				s.respondIfAble(a, r)
+			}
+		}
+	}
+}
+
+// killSlot removes the replica in slot (a, r) and queues a recovery.
+func (s *process) killSlot(a, r int) {
+	if s.onHost[a][r] < 0 {
+		return
+	}
+	if s.repCorrupt[a][r] && !s.repConvicted[a][r] {
+		s.undet[a]--
+	}
+	s.onHost[a][r] = -1
+	s.repCorrupt[a][r] = false
+	s.repConvicted[a][r] = false
+	s.repDetected[a][r] = false
+	s.running[a]--
+	s.needRec[a]++
+	s.checkByzantine(a)
+}
+
+// exclude applies the configured exclusion policy to host g.
+func (s *process) exclude(g int) {
+	if s.p.Policy == core.HostExclusion {
+		s.exclEvents++
+		s.exclCorruptFrac += s.hostCorruptFrac(g, g+1)
+		s.excludeHost(g)
+		return
+	}
+	d := s.domainOf(g)
+	if s.domExcluded[d] {
+		return
+	}
+	H := s.p.HostsPerDomain
+	lo, hi := d*H, (d+1)*H
+	s.exclEvents++
+	s.exclCorruptFrac += s.hostCorruptFrac(lo, hi)
+	for gg := lo; gg < hi; gg++ {
+		s.excludeHost(gg)
+	}
+	s.domExcluded[d] = true
+}
+
+// hostCorruptFrac computes the fraction of hosts in [lo, hi) with any
+// corrupt component (OS, manager, or a resident replica).
+func (s *process) hostCorruptFrac(lo, hi int) float64 {
+	corrupt := 0
+	for g := lo; g < hi; g++ {
+		bad := s.hostStatus[g] > 0 || (s.mgrCorrupt[g] && !s.hostExcluded[g])
+		if !bad {
+		slots:
+			for a := range s.onHost {
+				for r := range s.onHost[a] {
+					if s.onHost[a][r] == g && s.repCorrupt[a][r] {
+						bad = true
+						break slots
+					}
+				}
+			}
+		}
+		if bad {
+			corrupt++
+		}
+	}
+	return float64(corrupt) / float64(hi-lo)
+}
+
+func (s *process) excludeHost(g int) {
+	if s.hostExcluded[g] {
+		return
+	}
+	s.hostExcluded[g] = true
+	s.mgrCorrupt[g] = false
+	s.mgrRemoved[g] = true
+	for a := range s.onHost {
+		for r := range s.onHost[a] {
+			if s.onHost[a][r] == g {
+				s.killSlot(a, r)
+			}
+		}
+	}
+}
+
+func (s *process) qualifyingDomainExists(a int) bool {
+	for d := range s.domExcluded {
+		if s.domainQualifies(a, d) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *process) domainQualifies(a, d int) bool {
+	if s.domExcluded[d] || s.hasReplica(a, d) {
+		return false
+	}
+	H := s.p.HostsPerDomain
+	for h := 0; h < H; h++ {
+		if !s.hostExcluded[d*H+h] {
+			return true
+		}
+	}
+	return false
+}
+
+// recover places one replacement replica of app a on a uniformly chosen
+// qualifying domain and a uniformly chosen live host within it.
+func (s *process) recover(a int) {
+	var doms []int
+	for d := range s.domExcluded {
+		if s.domainQualifies(a, d) {
+			doms = append(doms, d)
+		}
+	}
+	if len(doms) == 0 {
+		return
+	}
+	g := s.chooseHost(doms[s.rs.Choose(len(doms))])
+	for r := range s.onHost[a] {
+		if s.onHost[a][r] < 0 {
+			s.onHost[a][r] = g
+			s.running[a]++
+			s.needRec[a]--
+			return
+		}
+	}
+	panic("ituadirect: no free slot during recovery")
+}
+
+// run executes the SSA loop up to the last horizon.
+func (s *process) run(horizons []float64) (Result, error) {
+	last := horizons[len(horizons)-1]
+	res := Result{
+		UnavailTime:         make([]float64, len(horizons)),
+		ByzantineBy:         make([]bool, len(horizons)),
+		FracDomainsExcluded: make([]float64, len(horizons)),
+	}
+	now := 0.0
+	cum := 0.0 // improper-service time of app 0 accumulated so far
+	next := 0  // next horizon index to close out
+	var buf []transition
+
+	// record advances time to upto with the state (hence the improper
+	// indicator) constant over (now, upto], snapshotting at any horizons
+	// crossed.
+	record := func(upto float64, improperNow, byz bool) {
+		for next < len(horizons) && horizons[next] <= upto {
+			h := horizons[next]
+			c := cum
+			if improperNow {
+				c += h - now
+			}
+			res.UnavailTime[next] = c
+			res.ByzantineBy[next] = byz
+			res.FracDomainsExcluded[next] = s.fracDomainsExcluded()
+			next++
+		}
+		if improperNow {
+			cum += upto - now
+		}
+		now = upto
+	}
+
+	for {
+		buf = s.collect(buf)
+		total := 0.0
+		for _, tr := range buf {
+			total += tr.rate
+		}
+		if total <= 0 {
+			break // absorbed: state frozen until the last horizon
+		}
+		dt := s.rs.Expo(total)
+		t := now + dt
+		improper := s.improper(0)
+		byz := s.grpFail[0]
+		if t >= last {
+			record(last, improper, byz)
+			break
+		}
+		record(t, improper, byz)
+		// choose the transition
+		u := s.rs.Float64() * total
+		acc := 0.0
+		idx := len(buf) - 1
+		for i, tr := range buf {
+			acc += tr.rate
+			if u < acc {
+				idx = i
+				break
+			}
+		}
+		buf[idx].apply()
+		s.drainPending()
+	}
+	// absorbed (or finished): close out remaining horizons
+	record(last, s.improper(0), s.grpFail[0])
+	for next < len(horizons) {
+		res.ByzantineBy[next] = s.grpFail[0]
+		res.FracDomainsExcluded[next] = s.fracDomainsExcluded()
+		next++
+	}
+	if s.exclEvents > 0 {
+		res.CorruptFracAtExclusion = s.exclCorruptFrac / float64(s.exclEvents)
+	} else {
+		res.CorruptFracAtExclusion = math.NaN()
+	}
+	res.RunningAtEnd = s.running[0]
+	return res, nil
+}
+
+func (s *process) fracDomainsExcluded() float64 {
+	if s.p.Policy == core.HostExclusion {
+		return 0
+	}
+	n := 0
+	for _, e := range s.domExcluded {
+		if e {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.domExcluded))
+}

@@ -1,0 +1,281 @@
+// Package ituadirect is an independent re-implementation of the ITUA
+// stochastic process as a direct continuous-time simulation (Gillespie-style
+// stochastic simulation algorithm over explicit entity state), sharing no
+// mechanism with the SAN formalism, the composed-model machinery, or the
+// event-heap engine in internal/sim. Agreement between the two
+// implementations on every measure is the strongest internal-validation
+// evidence this reproduction offers: the probability of both encodings of
+// the model being wrong in the same way is small.
+//
+// Because every timer in the ITUA model is exponential, the process is a
+// CTMC and the SSA (total-rate jump sampling) is exact.
+package ituadirect
+
+import (
+	"fmt"
+
+	"ituaval/internal/core"
+	"ituaval/internal/rng"
+)
+
+// sim holds the explicit entity state of one replication. Time is in hours.
+type process struct {
+	p  core.Params
+	rs *rng.Stream
+
+	hostRate, repRate, mgrRate  float64 // per-entity base attack rates
+	hostFalseRate, repFalseRate float64
+	pClass                      [3]float64 // script, exploratory, innovative
+	detectClass                 [3]float64
+
+	// hosts, flattened g = d*H + h
+	hostStatus   []int // 0 ok, 1..3 corrupt by class
+	hostExcluded []bool
+	hostDetected []bool // host-OS IDS trial consumed
+	propDomDone  []bool
+	propSysDone  []bool
+	mgrCorrupt   []bool // corrupt and undetected
+	mgrRemoved   []bool
+	mgrDetected  []bool
+
+	domExcluded []bool
+	spreadDom   []int // intra-domain propagation events per domain
+
+	spreadSys  int
+	intrusions int
+
+	// replica slots [a][r]
+	onHost       [][]int // -1 = empty, else flattened host index
+	repCorrupt   [][]bool
+	repConvicted [][]bool
+	repDetected  [][]bool
+
+	running []int
+	undet   []int
+	grpFail []bool
+	needRec []int
+
+	exclEvents      int
+	exclCorruptFrac float64 // sum of per-exclusion corrupt fractions
+}
+
+// Result collects one replication's measures for the measured application
+// (app 0) and the system.
+type Result struct {
+	// UnavailTime[i] is the improper-service time of app 0 accumulated in
+	// [0, horizons[i]].
+	UnavailTime []float64
+	// ByzantineBy[i] reports whether app 0 suffered a Byzantine fault by
+	// horizons[i].
+	ByzantineBy []bool
+	// FracDomainsExcluded[i] at horizons[i].
+	FracDomainsExcluded []float64
+	// CorruptFracAtExclusion is the mean over exclusion events in the full
+	// run (NaN if none).
+	CorruptFracAtExclusion float64
+	// RunningAtEnd is the number of app-0 replicas running at the last
+	// horizon.
+	RunningAtEnd int
+}
+
+// Run simulates one replication up to the largest horizon, recording the
+// measures at each horizon. Horizons must be ascending and non-empty.
+func Run(p core.Params, seed *rng.Stream, horizons []float64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, fmt.Errorf("ituadirect: %w", err)
+	}
+	if len(horizons) == 0 {
+		return Result{}, fmt.Errorf("ituadirect: no horizons")
+	}
+	s := newSim(p, seed)
+	return s.run(horizons)
+}
+
+func newSim(p core.Params, rs *rng.Stream) *process {
+	D, H, A, R := p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp
+	n := D * H
+	s := &process{
+		p: p, rs: rs,
+		hostStatus:   make([]int, n),
+		hostExcluded: make([]bool, n),
+		hostDetected: make([]bool, n),
+		propDomDone:  make([]bool, n),
+		propSysDone:  make([]bool, n),
+		mgrCorrupt:   make([]bool, n),
+		mgrRemoved:   make([]bool, n),
+		mgrDetected:  make([]bool, n),
+		domExcluded:  make([]bool, D),
+		spreadDom:    make([]int, D),
+		running:      make([]int, A),
+		undet:        make([]int, A),
+		grpFail:      make([]bool, A),
+		needRec:      make([]int, A),
+	}
+	// Per-entity rates: recompute the same division core.Params performs,
+	// but independently (from the documented semantics, not shared code
+	// beyond the parameter struct).
+	wSum := p.AttackSplitHost + p.AttackSplitReplica + p.AttackSplitMgr
+	hosts := float64(n)
+	if p.RateBaseHosts > 0 {
+		hosts = float64(p.RateBaseHosts)
+	}
+	initialReps := p.RepsPerApp
+	if p.NumDomains < initialReps {
+		initialReps = p.NumDomains
+	}
+	replicas := float64(p.NumApps * initialReps)
+	if p.RateBaseReplicas > 0 {
+		replicas = float64(p.RateBaseReplicas)
+	}
+	s.hostRate = p.TotalAttackRate * p.AttackSplitHost / wSum / hosts
+	s.repRate = p.TotalAttackRate * p.AttackSplitReplica / wSum / replicas
+	s.mgrRate = p.TotalAttackRate * p.AttackSplitMgr / wSum / hosts
+	fSum := p.FalseSplitHost + p.FalseSplitReplica
+	s.hostFalseRate = p.TotalFalseAlarmRate * p.FalseSplitHost / fSum / hosts
+	s.repFalseRate = p.TotalFalseAlarmRate * p.FalseSplitReplica / fSum / replicas
+	s.pClass = [3]float64{p.PScript, p.PExploratory, p.PInnovative}
+	s.detectClass = [3]float64{p.DetectScript, p.DetectExploratory, p.DetectInnovative}
+
+	// Initial placement: min(R, D) replicas per app on distinct uniformly
+	// chosen domains, uniform host within each.
+	s.onHost = make([][]int, A)
+	s.repCorrupt = make([][]bool, A)
+	s.repConvicted = make([][]bool, A)
+	s.repDetected = make([][]bool, A)
+	perm := make([]int, D)
+	for a := 0; a < A; a++ {
+		s.onHost[a] = make([]int, R)
+		for r := range s.onHost[a] {
+			s.onHost[a][r] = -1
+		}
+		s.repCorrupt[a] = make([]bool, R)
+		s.repConvicted[a] = make([]bool, R)
+		s.repDetected[a] = make([]bool, R)
+		rs.Perm(perm)
+		k := R
+		if D < k {
+			k = D
+		}
+		for i := 0; i < k; i++ {
+			s.onHost[a][i] = s.chooseHost(perm[i])
+			s.running[a]++
+		}
+	}
+	return s
+}
+
+func (s *process) domainOf(g int) int { return g / s.p.HostsPerDomain }
+
+// hostLoad counts the replicas currently running on host g.
+func (s *process) hostLoad(g int) int {
+	n := 0
+	for a := range s.onHost {
+		for _, h := range s.onHost[a] {
+			if h == g {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// chooseHost picks a live host of domain d per the placement strategy,
+// mirroring core's semantics.
+func (s *process) chooseHost(d int) int {
+	H := s.p.HostsPerDomain
+	var hostsUp []int
+	for h := 0; h < H; h++ {
+		if !s.hostExcluded[d*H+h] {
+			hostsUp = append(hostsUp, d*H+h)
+		}
+	}
+	switch s.p.Placement {
+	case core.LeastLoadedPlacement:
+		best := hostsUp[0]
+		for _, g := range hostsUp[1:] {
+			if s.hostLoad(g) < s.hostLoad(best) {
+				best = g
+			}
+		}
+		return best
+	case core.WeightedRandomPlacement:
+		weights := make([]float64, len(hostsUp))
+		for i, g := range hostsUp {
+			weights[i] = 1 / (1 + float64(s.hostLoad(g)))
+		}
+		return hostsUp[s.rs.Category(weights)]
+	default:
+		return hostsUp[s.rs.Choose(len(hostsUp))]
+	}
+}
+
+// hasReplica reports whether app a has a running replica in domain d.
+func (s *process) hasReplica(a, d int) bool {
+	for _, g := range s.onHost[a] {
+		if g >= 0 && s.domainOf(g) == d {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *process) mgrsRunning() int {
+	n := 0
+	for g := range s.mgrRemoved {
+		if !s.hostExcluded[g] {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *process) undetMgrs() int {
+	n := 0
+	for g := range s.mgrCorrupt {
+		if s.mgrCorrupt[g] && !s.hostExcluded[g] {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *process) globalQuorumOK() bool {
+	return 3*s.undetMgrs() < s.mgrsRunning()
+}
+
+func (s *process) domainGroupOK(d int) bool {
+	H := s.p.HostsPerDomain
+	up, corrupt := 0, 0
+	for h := 0; h < H; h++ {
+		g := d*H + h
+		if !s.hostExcluded[g] {
+			up++
+			if s.mgrCorrupt[g] {
+				corrupt++
+			}
+		}
+	}
+	return 3*corrupt < up
+}
+
+func (s *process) improper(a int) bool {
+	return 3*s.undet[a] >= s.running[a]
+}
+
+func (s *process) checkByzantine(a int) {
+	if s.undet[a] > 0 && 3*s.undet[a] >= s.running[a] {
+		s.grpFail[a] = true
+	}
+}
+
+// spreadBoost is the linear rate increase on host-OS attacks in domain d.
+func (s *process) spreadBoost(d int) float64 {
+	return s.p.SpreadRateCoeff * (s.p.DomainSpreadRate*float64(s.spreadDom[d]) +
+		s.p.SystemSpreadRate*float64(s.spreadSys))
+}
+
+// assetBoost is the linear rate increase on replica/manager attacks from
+// intra-domain spread.
+func (s *process) assetBoost(d int) float64 {
+	return s.p.AssetSpreadCoeff * s.p.DomainSpreadRate * float64(s.spreadDom[d])
+}

@@ -1,0 +1,219 @@
+// Package mc converts all-exponential SAN models into continuous-time
+// Markov chains and solves them numerically — the analytic path of the
+// Möbius tool ("Möbius can solve SANs analytically by converting them into
+// equivalent continuous time Markov chains"). The paper's full model was
+// simulated instead; this package exists to cross-validate the simulator on
+// reduced models, exactly the methodological check a validation study needs.
+//
+// Requirements on the model: every timed activity's distribution must be
+// rng.Exponential (possibly marking-dependent), and no gate effect or
+// initialization hook may draw random numbers (the generator passes a nil
+// random stream; instantaneous races and cases are enumerated
+// probabilistically instead of sampled).
+package mc
+
+import (
+	"errors"
+	"fmt"
+
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+)
+
+// ErrNotMarkovian is returned when a timed activity has a non-exponential
+// distribution.
+var ErrNotMarkovian = errors.New("mc: model has a non-exponential timed activity")
+
+// ErrRandomGate is returned when a gate effect or init hook draws random
+// numbers during generation.
+var ErrRandomGate = errors.New("mc: gate effect used the random stream; model is not numerically solvable")
+
+// transition is one outgoing CTMC transition.
+type transition struct {
+	to   int
+	rate float64
+}
+
+// CTMC is a finite continuous-time Markov chain generated from a SAN,
+// together with the stable markings backing each state.
+type CTMC struct {
+	model    *san.Model
+	states   [][]san.Marking
+	rows     [][]transition
+	initDist map[int]float64
+	exit     []float64
+}
+
+// Options bounds state-space generation.
+type Options struct {
+	// MaxStates aborts generation beyond this many states (0 = 1<<20).
+	MaxStates int
+}
+
+// Generate explores the reachable stable state space of the model.
+func Generate(model *san.Model, opts Options) (c *CTMC, err error) {
+	if !model.Finalized() {
+		return nil, errors.New("mc: model not finalized")
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w (%v)", ErrRandomGate, r)
+		}
+	}()
+
+	c = &CTMC{model: model, initDist: make(map[int]float64)}
+	index := make(map[string]int)
+
+	intern := func(m []san.Marking, key string) int {
+		if id, ok := index[key]; ok {
+			return id
+		}
+		id := len(c.states)
+		index[key] = id
+		c.states = append(c.states, append([]san.Marking(nil), m...))
+		c.rows = append(c.rows, nil)
+		return id
+	}
+
+	// Initial stable distribution: run the init hook (deterministic), then
+	// enumerate instantaneous resolutions.
+	initState := model.NewState()
+	if hook := model.Init(); hook != nil {
+		hook(&san.Context{State: initState})
+	}
+	initSucs, err := san.EnumerateStable(model, initState)
+	if err != nil {
+		return nil, err
+	}
+	frontier := make([]int, 0, len(initSucs))
+	for _, suc := range initSucs {
+		id := intern(suc.M, suc.Key)
+		c.initDist[id] += suc.Prob
+		frontier = append(frontier, id)
+	}
+
+	scratch := model.NewState()
+	work := model.NewState()
+	explored := make(map[int]bool)
+	for len(frontier) > 0 {
+		id := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if explored[id] {
+			continue
+		}
+		explored[id] = true
+		if len(c.states) > maxStates {
+			return nil, fmt.Errorf("mc: state space exceeds %d states", maxStates)
+		}
+		copy(scratch.Markings(), c.states[id])
+		scratch.ResetDirty()
+		agg := make(map[int]float64)
+		for _, a := range model.Activities() {
+			if a.Kind() != san.Timed || !a.Enabled(scratch) {
+				continue
+			}
+			dist := a.Dist(scratch)
+			expo, ok := dist.(rng.Exponential)
+			if !ok {
+				return nil, fmt.Errorf("%w: activity %q has %v", ErrNotMarkovian, a.Name(), dist)
+			}
+			weights := a.CaseWeightsIn(scratch)
+			totalW := 0.0
+			for _, w := range weights {
+				totalW += w
+			}
+			if totalW <= 0 {
+				return nil, fmt.Errorf("mc: activity %q has non-positive case weights", a.Name())
+			}
+			for ci := range a.Cases() {
+				if weights[ci] == 0 {
+					continue
+				}
+				copy(work.Markings(), c.states[id])
+				work.ResetDirty()
+				a.Fire(&san.Context{State: work}, ci)
+				sucs, err := san.EnumerateStable(model, work)
+				if err != nil {
+					return nil, err
+				}
+				for _, suc := range sucs {
+					rate := expo.R * (weights[ci] / totalW) * suc.Prob
+					if rate <= 0 {
+						continue
+					}
+					to := intern(suc.M, suc.Key)
+					agg[to] += rate
+					if !explored[to] {
+						frontier = append(frontier, to)
+					}
+				}
+			}
+		}
+		row := make([]transition, 0, len(agg))
+		exit := 0.0
+		for to, rate := range agg {
+			if to == id {
+				continue // self-loops cancel in the generator
+			}
+			row = append(row, transition{to: to, rate: rate})
+			exit += rate
+		}
+		c.rows[id] = row
+		for len(c.exit) <= id {
+			c.exit = append(c.exit, 0)
+		}
+		c.exit[id] = exit
+	}
+	// exit may be shorter than states if the last explored ids were dense;
+	// normalize length.
+	for len(c.exit) < len(c.states) {
+		c.exit = append(c.exit, 0)
+	}
+	return c, nil
+}
+
+// NumStates returns the number of stable states.
+func (c *CTMC) NumStates() int { return len(c.states) }
+
+// NumTransitions returns the number of distinct transitions.
+func (c *CTMC) NumTransitions() int {
+	n := 0
+	for _, row := range c.rows {
+		n += len(row)
+	}
+	return n
+}
+
+// StateMarking returns the marking vector of state id (aliased; do not
+// modify).
+func (c *CTMC) StateMarking(id int) []san.Marking { return c.states[id] }
+
+// evalState evaluates f on the marking of state id using a scratch state.
+func (c *CTMC) evalState(f func(*san.State) float64, scratch *san.State, id int) float64 {
+	copy(scratch.Markings(), c.states[id])
+	scratch.ResetDirty()
+	return f(scratch)
+}
+
+// RewardVector evaluates f over every state.
+func (c *CTMC) RewardVector(f func(*san.State) float64) []float64 {
+	scratch := c.model.NewState()
+	r := make([]float64, len(c.states))
+	for i := range c.states {
+		r[i] = c.evalState(f, scratch, i)
+	}
+	return r
+}
+
+// InitialDistribution returns a dense copy of the initial distribution.
+func (c *CTMC) InitialDistribution() []float64 {
+	p := make([]float64, len(c.states))
+	for id, prob := range c.initDist {
+		p[id] = prob
+	}
+	return p
+}

@@ -1,0 +1,266 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ituaval/internal/san"
+)
+
+// uniformized returns the DTMC transition function of the uniformized chain
+// and the uniformization rate Λ (strictly greater than every exit rate, so
+// every state keeps a self-loop and the chain is aperiodic).
+func (c *CTMC) uniformized() (step func(v, out []float64), lambda float64) {
+	lambda = 0.0
+	for _, e := range c.exit {
+		if e > lambda {
+			lambda = e
+		}
+	}
+	lambda *= 1.02
+	if lambda == 0 {
+		lambda = 1 // absorbing-only chain: identity steps
+	}
+	step = func(v, out []float64) {
+		for i := range out {
+			out[i] = 0
+		}
+		for i, row := range c.rows {
+			if v[i] == 0 {
+				continue
+			}
+			stay := v[i] * (1 - c.exit[i]/lambda)
+			out[i] += stay
+			for _, tr := range row {
+				out[tr.to] += v[i] * tr.rate / lambda
+			}
+		}
+	}
+	return step, lambda
+}
+
+// poissonTerms returns Poisson(mu) probabilities for k = 0..K where K is
+// chosen so the truncated mass exceeds 1 - eps. Uses a stable recursion in
+// log space for large mu.
+func poissonTerms(mu, eps float64) []float64 {
+	if mu < 0 {
+		panic("mc: negative Poisson mean")
+	}
+	if mu == 0 {
+		return []float64{1}
+	}
+	// Start from the (log of the) mode to avoid underflow, then fill both
+	// directions until mass >= 1-eps.
+	mode := int(mu)
+	logP := func(k int) float64 {
+		lg, _ := math.Lgamma(float64(k + 1))
+		return -mu + float64(k)*math.Log(mu) - lg
+	}
+	// Expand upper bound until cumulative mass is sufficient.
+	hi := mode
+	total := 0.0
+	var terms []float64
+	for {
+		hi += 32
+		terms = make([]float64, hi+1)
+		total = 0.0
+		for k := 0; k <= hi; k++ {
+			terms[k] = math.Exp(logP(k))
+			total += terms[k]
+		}
+		if total >= 1-eps || hi > int(mu)+10000000 {
+			break
+		}
+	}
+	return terms
+}
+
+// Transient returns the state distribution at time t, starting from the
+// model's initial distribution, computed by uniformization.
+func (c *CTMC) Transient(t float64) ([]float64, error) {
+	if t < 0 {
+		return nil, errors.New("mc: negative time")
+	}
+	v := c.InitialDistribution()
+	if t == 0 {
+		return v, nil
+	}
+	step, lambda := c.uniformized()
+	terms := poissonTerms(lambda*t, 1e-12)
+	out := make([]float64, len(v))
+	next := make([]float64, len(v))
+	for k := 0; ; k++ {
+		w := 0.0
+		if k < len(terms) {
+			w = terms[k]
+		}
+		for i := range v {
+			out[i] += w * v[i]
+		}
+		if k >= len(terms)-1 {
+			break
+		}
+		step(v, next)
+		v, next = next, v
+	}
+	return out, nil
+}
+
+// TransientReward returns E[f(X_t)].
+func (c *CTMC) TransientReward(t float64, f func(*san.State) float64) (float64, error) {
+	p, err := c.Transient(t)
+	if err != nil {
+		return 0, err
+	}
+	return dot(p, c.RewardVector(f)), nil
+}
+
+// IntervalAverageReward returns (1/T) E[∫₀ᵀ f(X_u) du] using the
+// uniformization formula for accumulated rewards:
+// E[∫₀ᵀ r du] = (1/Λ) Σ_k (vₖ·r) P(N(ΛT) > k).
+func (c *CTMC) IntervalAverageReward(t float64, f func(*san.State) float64) (float64, error) {
+	if t <= 0 {
+		return 0, errors.New("mc: non-positive interval")
+	}
+	r := c.RewardVector(f)
+	v := c.InitialDistribution()
+	step, lambda := c.uniformized()
+	terms := poissonTerms(lambda*t, 1e-12)
+	// tail[k] = P(N > k) = 1 - sum_{j<=k} terms[j]
+	next := make([]float64, len(v))
+	acc := 0.0
+	cum := 0.0
+	for k := 0; k < len(terms); k++ {
+		cum += terms[k]
+		tail := 1 - cum
+		if tail < 0 {
+			tail = 0
+		}
+		acc += dot(v, r) * tail
+		if tail == 0 {
+			break
+		}
+		step(v, next)
+		v, next = next, v
+	}
+	return acc / lambda / t, nil
+}
+
+// SteadyState returns the stationary distribution by power iteration on the
+// uniformized DTMC. It returns an error if the iteration does not converge;
+// for chains with transient states mass settles on the recurrent classes
+// reachable from the initial distribution.
+func (c *CTMC) SteadyState(tol float64, maxIter int) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 1_000_000
+	}
+	v := c.InitialDistribution()
+	step, _ := c.uniformized()
+	next := make([]float64, len(v))
+	for iter := 0; iter < maxIter; iter++ {
+		step(v, next)
+		diff := 0.0
+		for i := range v {
+			diff += math.Abs(next[i] - v[i])
+		}
+		v, next = next, v
+		if diff < tol {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("mc: steady state did not converge in %d iterations", maxIter)
+}
+
+// SteadyStateReward returns the stationary expectation of f.
+func (c *CTMC) SteadyStateReward(f func(*san.State) float64, tol float64, maxIter int) (float64, error) {
+	p, err := c.SteadyState(tol, maxIter)
+	if err != nil {
+		return 0, err
+	}
+	return dot(p, c.RewardVector(f)), nil
+}
+
+// FirstPassageProb returns P(pred(X_u) for some u <= t): states satisfying
+// pred are made absorbing and their transient mass at t is summed. States
+// already satisfying pred at time 0 count as absorbed.
+func (c *CTMC) FirstPassageProb(t float64, pred func(*san.State) bool) (float64, error) {
+	if t < 0 {
+		return 0, errors.New("mc: negative time")
+	}
+	bad := make([]bool, len(c.states))
+	scratch := c.model.NewState()
+	for i := range c.states {
+		copy(scratch.Markings(), c.states[i])
+		scratch.ResetDirty()
+		bad[i] = pred(scratch)
+	}
+	// Build a modified uniformized step where bad states absorb.
+	lambda := 0.0
+	for i, e := range c.exit {
+		if !bad[i] && e > lambda {
+			lambda = e
+		}
+	}
+	lambda *= 1.02
+	if lambda == 0 {
+		lambda = 1
+	}
+	step := func(v, out []float64) {
+		for i := range out {
+			out[i] = 0
+		}
+		for i, row := range c.rows {
+			if v[i] == 0 {
+				continue
+			}
+			if bad[i] {
+				out[i] += v[i]
+				continue
+			}
+			out[i] += v[i] * (1 - c.exit[i]/lambda)
+			for _, tr := range row {
+				out[tr.to] += v[i] * tr.rate / lambda
+			}
+		}
+	}
+	v := c.InitialDistribution()
+	if t > 0 {
+		terms := poissonTerms(lambda*t, 1e-12)
+		out := make([]float64, len(v))
+		next := make([]float64, len(v))
+		for k := 0; ; k++ {
+			w := 0.0
+			if k < len(terms) {
+				w = terms[k]
+			}
+			for i := range v {
+				out[i] += w * v[i]
+			}
+			if k >= len(terms)-1 {
+				break
+			}
+			step(v, next)
+			v, next = next, v
+		}
+		v = out
+	}
+	p := 0.0
+	for i := range v {
+		if bad[i] {
+			p += v[i]
+		}
+	}
+	return p, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

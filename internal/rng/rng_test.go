@@ -1,0 +1,282 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with the same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical draws", same)
+	}
+}
+
+func TestDeriveIndependentAndStable(t *testing.T) {
+	root := New(7)
+	d1 := root.Derive(3)
+	d2 := root.Derive(3)
+	if d1.Uint64() != d2.Uint64() {
+		t.Fatal("Derive with the same id is not reproducible")
+	}
+	d3 := root.Derive(4)
+	if d3.Uint64() == root.Derive(3).Uint64() {
+		t.Fatal("Derive with different ids produced the same first draw")
+	}
+	// Derivation must not advance the root stream.
+	before := *root
+	root.Derive(99)
+	if before != *root {
+		t.Fatal("Derive mutated the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 100000; i++ {
+		u := s.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", u)
+		}
+	}
+}
+
+func TestOpenFloat64Positive(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 100000; i++ {
+		if u := s.OpenFloat64(); u <= 0 || u >= 1 {
+			t.Fatalf("OpenFloat64 out of (0,1): %v", u)
+		}
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// 16 buckets, 160k draws: chi-square with 15 dof, 99.9% critical
+	// value is 37.70.
+	s := New(99)
+	const buckets, n = 16, 160000
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[int(s.Float64()*buckets)]++
+	}
+	expected := float64(n) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 37.70 {
+		t.Fatalf("uniformity chi-square too high: %v", chi2)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for n := 1; n <= 20; n++ {
+		for i := 0; i < 2000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(21)
+	const n, draws = 7, 70000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Fatalf("Intn bucket %d count %d far from expected %v", i, c, expected)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	s := New(8)
+	p := make([]int, 10)
+	s.Perm(p)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(123)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	p := make([]int, n)
+	for i := 0; i < draws; i++ {
+		s.Perm(p)
+		counts[p[0]]++
+	}
+	expected := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Fatalf("Perm first-element bucket %d count %d far from %v", i, c, expected)
+		}
+	}
+}
+
+func TestCategory(t *testing.T) {
+	s := New(77)
+	weights := []float64{0.8, 0.15, 0.05}
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[s.Category(weights)]++
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-w) > 0.01 {
+			t.Fatalf("Category bucket %d frequency %v, want ~%v", i, got, w)
+		}
+	}
+}
+
+func TestCategoryZeroWeightNeverChosen(t *testing.T) {
+	s := New(31)
+	weights := []float64{0, 1, 0}
+	for i := 0; i < 10000; i++ {
+		if got := s.Category(weights); got != 1 {
+			t.Fatalf("Category chose zero-weight bucket %d", got)
+		}
+	}
+}
+
+func TestCategoryPanics(t *testing.T) {
+	for _, weights := range [][]float64{{}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Category(%v) did not panic", weights)
+				}
+			}()
+			New(1).Category(weights)
+		}()
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(55)
+	const p, draws = 0.3, 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) frequency %v", p, got)
+	}
+}
+
+func TestExpoMoments(t *testing.T) {
+	s := New(3)
+	const rate, n = 2.5, 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Expo(rate)
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("exponential mean %v, want %v", mean, 1/rate)
+	}
+	if math.Abs(variance-1/(rate*rate)) > 0.02 {
+		t.Fatalf("exponential variance %v, want %v", variance, 1/(rate*rate))
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(4)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 || math.Abs(variance-1) > 0.02 {
+		t.Fatalf("standard normal moments mean=%v var=%v", mean, variance)
+	}
+}
+
+// quickStream gives property tests a stream derived from the quick seed.
+func quickStream(seed uint64) *Stream { return New(seed) }
+
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		s := quickStream(seed)
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExpoNonNegative(t *testing.T) {
+	f := func(seed uint64, rateRaw uint16) bool {
+		rate := float64(rateRaw%1000)/100 + 0.01
+		return quickStream(seed).Expo(rate) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloat64HalfOpen(t *testing.T) {
+	f := func(seed uint64) bool {
+		u := quickStream(seed).Float64()
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

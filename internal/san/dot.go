@@ -1,0 +1,43 @@
+package san
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the model structure in Graphviz DOT format: places as
+// circles labeled with their initial markings, timed activities as thick
+// vertical bars, instantaneous activities as thin bars, and edges from each
+// activity to the places it declares in Reads. (Write relationships are not
+// declared in the formalism — gate effects are opaque functions — so the
+// graph shows the dependency structure used for incremental enabling.)
+func WriteDOT(w io.Writer, m *Model) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.Name())
+	b.WriteString("  rankdir=LR;\n  node [fontsize=10];\n")
+	for _, p := range m.Places() {
+		fmt.Fprintf(&b, "  %q [shape=circle, label=%q];\n",
+			"p:"+p.Name(), fmt.Sprintf("%s\\n%d", p.Name(), p.Initial()))
+	}
+	for _, a := range m.Activities() {
+		shape := "box"
+		style := "filled"
+		fill := "gray70"
+		if a.Kind() == Instant {
+			fill = "gray30"
+		}
+		label := a.Name()
+		if len(a.Cases()) > 1 {
+			label = fmt.Sprintf("%s (%d cases)", a.Name(), len(a.Cases()))
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, style=%s, fillcolor=%s, height=0.6, width=0.12, label=%q];\n",
+			"a:"+a.Name(), shape, style, fill, label)
+		for _, p := range a.Reads() {
+			fmt.Fprintf(&b, "  %q -> %q;\n", "p:"+p.Name(), "a:"+a.Name())
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

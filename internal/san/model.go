@@ -1,0 +1,229 @@
+package san
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Model is a flat stochastic activity network: the result of composing
+// atomic submodels through scopes. Build places and activities, then call
+// Finalize before handing the model to a solver.
+type Model struct {
+	name       string
+	places     []*Place
+	placeNames map[string]*Place
+	acts       []*Activity
+	actNames   map[string]*Activity
+	deps       [][]*Activity // place index -> activities reading it
+	initFn     func(ctx *Context)
+	finalized  bool
+}
+
+// NewModel creates an empty model.
+func NewModel(name string) *Model {
+	return &Model{
+		name:       name,
+		placeNames: make(map[string]*Place),
+		actNames:   make(map[string]*Activity),
+	}
+}
+
+// Name returns the model name.
+func (m *Model) Name() string { return m.name }
+
+// Place creates a new place with the given unique name and initial marking.
+// It panics if the model is finalized or the name is taken (composition code
+// should use Scope, which produces unique scoped names).
+func (m *Model) Place(name string, init Marking) *Place {
+	if m.finalized {
+		panic("san: Place after Finalize")
+	}
+	if init < 0 {
+		panic(fmt.Sprintf("san: negative initial marking for %q", name))
+	}
+	if _, dup := m.placeNames[name]; dup {
+		panic(fmt.Sprintf("san: duplicate place name %q", name))
+	}
+	p := &Place{name: name, index: len(m.places), init: init}
+	m.places = append(m.places, p)
+	m.placeNames[name] = p
+	return p
+}
+
+// AddActivity registers an activity definition. Errors are deferred to
+// Finalize so model-building code stays linear.
+func (m *Model) AddActivity(def ActivityDef) *Activity {
+	if m.finalized {
+		panic("san: AddActivity after Finalize")
+	}
+	a := &Activity{def: def, id: len(m.acts), model: m}
+	m.acts = append(m.acts, a)
+	return a
+}
+
+// SetInit registers a hook that runs once at time zero, before any activity
+// fires, to establish the initial configuration (the paper's model does this
+// with high-rate "assign_id"/"start_replica" activities; a hook is the
+// direct expression). The hook may use ctx.Rand.
+func (m *Model) SetInit(fn func(ctx *Context)) { m.initFn = fn }
+
+// Init returns the initialization hook (may be nil).
+func (m *Model) Init() func(ctx *Context) { return m.initFn }
+
+// Places returns all places in creation order.
+func (m *Model) Places() []*Place { return m.places }
+
+// Activities returns all activities in creation order.
+func (m *Model) Activities() []*Activity { return m.acts }
+
+// PlaceByName returns the named place, or nil.
+func (m *Model) PlaceByName(name string) *Place { return m.placeNames[name] }
+
+// ActivityByName returns the named activity, or nil.
+func (m *Model) ActivityByName(name string) *Activity { return m.actNames[name] }
+
+// Finalize validates the model structure and builds the place→activity
+// dependency index. It must be called exactly once before solving.
+func (m *Model) Finalize() error {
+	if m.finalized {
+		return errors.New("san: model already finalized")
+	}
+	var errs []error
+	seen := make(map[string]bool, len(m.acts))
+	for _, a := range m.acts {
+		d := &a.def
+		switch {
+		case d.Name == "":
+			errs = append(errs, fmt.Errorf("activity %d has no name", a.id))
+		case seen[d.Name]:
+			errs = append(errs, fmt.Errorf("duplicate activity name %q", d.Name))
+		default:
+			seen[d.Name] = true
+			m.actNames[d.Name] = a
+		}
+		if d.Kind != Timed && d.Kind != Instant {
+			errs = append(errs, fmt.Errorf("activity %q has invalid kind %d", d.Name, d.Kind))
+		}
+		if d.Kind == Timed && d.Dist == nil {
+			errs = append(errs, fmt.Errorf("timed activity %q has no distribution", d.Name))
+		}
+		if d.Enabled == nil {
+			errs = append(errs, fmt.Errorf("activity %q has no enabling predicate", d.Name))
+		}
+		if len(d.Cases) == 0 {
+			errs = append(errs, fmt.Errorf("activity %q has no cases", d.Name))
+		}
+		if d.CaseWeights == nil && len(d.Cases) > 1 {
+			total := 0.0
+			for _, c := range d.Cases {
+				if c.Prob < 0 {
+					errs = append(errs, fmt.Errorf("activity %q case %q has negative probability", d.Name, c.Name))
+				}
+				total += c.Prob
+			}
+			if total <= 0 {
+				errs = append(errs, fmt.Errorf("activity %q has non-positive total case probability", d.Name))
+			}
+		}
+		if len(d.Reads) == 0 {
+			errs = append(errs, fmt.Errorf("activity %q declares no read dependencies", d.Name))
+		}
+		for _, p := range d.Reads {
+			if p == nil {
+				errs = append(errs, fmt.Errorf("activity %q has nil place in Reads", d.Name))
+				continue
+			}
+			if p.index >= len(m.places) || m.places[p.index] != p {
+				errs = append(errs, fmt.Errorf("activity %q reads place %q from another model", d.Name, p.name))
+			}
+		}
+		if d.Weight < 0 {
+			errs = append(errs, fmt.Errorf("activity %q has negative weight", d.Name))
+		}
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	m.deps = make([][]*Activity, len(m.places))
+	for _, a := range m.acts {
+		added := make(map[int]bool, len(a.def.Reads))
+		for _, p := range a.def.Reads {
+			if !added[p.index] {
+				added[p.index] = true
+				m.deps[p.index] = append(m.deps[p.index], a)
+			}
+		}
+	}
+	m.finalized = true
+	return nil
+}
+
+// Finalized reports whether Finalize has completed.
+func (m *Model) Finalized() bool { return m.finalized }
+
+// Dependents returns the activities whose declared reads include the place
+// with the given state index.
+func (m *Model) Dependents(placeIndex int) []*Activity { return m.deps[placeIndex] }
+
+// NewState allocates a state initialized to the model's initial marking.
+// The initialization hook is NOT run; solvers run it with their own Context.
+func (m *Model) NewState() *State {
+	if !m.finalized {
+		panic("san: NewState before Finalize")
+	}
+	s := &State{
+		m:       make([]Marking, len(m.places)),
+		isDirty: make([]bool, len(m.places)),
+	}
+	for _, p := range m.places {
+		s.m[p.index] = p.init
+	}
+	return s
+}
+
+// MaxInstantPriorityEnabled returns the instantaneous activities enabled in
+// s at the highest enabled priority level, in a deterministic order. It
+// returns nil when no instantaneous activity is enabled.
+func (m *Model) MaxInstantPriorityEnabled(s *State) []*Activity {
+	var best []*Activity
+	bestPrio := 0
+	for _, a := range m.acts {
+		if a.def.Kind != Instant || !a.def.Enabled(s) {
+			continue
+		}
+		switch {
+		case best == nil || a.def.Priority > bestPrio:
+			best = append(best[:0], a)
+			bestPrio = a.def.Priority
+		case a.def.Priority == bestPrio:
+			best = append(best, a)
+		}
+	}
+	return best
+}
+
+// Summary returns a human-readable structural summary, used by cmd/sandot
+// and tests.
+func (m *Model) Summary() string {
+	timed, instant := 0, 0
+	for _, a := range m.acts {
+		if a.def.Kind == Timed {
+			timed++
+		} else {
+			instant++
+		}
+	}
+	return fmt.Sprintf("model %q: %d places, %d timed + %d instantaneous activities",
+		m.name, len(m.places), timed, instant)
+}
+
+// SortedPlaceNames returns all place names sorted, for stable diagnostics.
+func (m *Model) SortedPlaceNames() []string {
+	names := make([]string, 0, len(m.places))
+	for _, p := range m.places {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,328 @@
+// Package sim is the discrete-event simulation engine for SAN models: the
+// equivalent of the Möbius simulator the paper used ("because of the
+// complexity of the model and the use of non-exponentially distributed
+// firing times ... we instead used Möbius to simulate the model").
+//
+// The engine executes replicated terminating simulations: each replication
+// runs the model from its initial marking to a fixed end time, reward
+// observers watch the trajectory, and the runner aggregates observations
+// across replications (optionally in parallel) into confidence intervals.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+)
+
+// event is a scheduled completion of a timed activity. gen guards against
+// stale events: cancelling an activity bumps its generation, leaving the
+// heap entry to be discarded lazily when popped.
+type event struct {
+	time float64
+	act  *san.Activity
+	gen  uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// schedEntry tracks the scheduling status of one timed activity.
+type schedEntry struct {
+	scheduled bool
+	gen       uint64
+	dist      rng.Dist // distribution in force when the event was sampled
+}
+
+// Engine runs one replication at a time over a finalized model. An Engine
+// is not safe for concurrent use; the parallel runner creates one per
+// worker.
+type Engine struct {
+	model    *san.Model
+	state    *san.State
+	sched    []schedEntry
+	heap     eventHeap
+	now      float64
+	rand     *rng.Stream
+	validate bool
+
+	// candidate deduplication between stabilization rounds
+	stamp    []uint64
+	curStamp uint64
+
+	firings int64
+}
+
+// NewEngine creates an engine for the finalized model. If validate is true,
+// every predicate/distribution evaluation is read-traced and an undeclared
+// dependency panics — slow, meant for model tests.
+func NewEngine(model *san.Model, validate bool) *Engine {
+	if !model.Finalized() {
+		panic("sim: model not finalized")
+	}
+	return &Engine{
+		model:    model,
+		state:    model.NewState(),
+		sched:    make([]schedEntry, len(model.Activities())),
+		stamp:    make([]uint64, len(model.Activities())),
+		validate: validate,
+	}
+}
+
+// State exposes the engine's current state (for observers and tests).
+func (e *Engine) State() *san.State { return e.state }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Firings returns the number of activity completions in the last run.
+func (e *Engine) Firings() int64 { return e.firings }
+
+// enabled evaluates the activity's predicate, read-tracing in validate mode.
+func (e *Engine) enabled(a *san.Activity) bool {
+	if !e.validate {
+		return a.Enabled(e.state)
+	}
+	e.state.StartTrace()
+	result := a.Enabled(e.state)
+	e.checkTrace(a, "Enabled")
+	return result
+}
+
+// dist evaluates the activity's distribution, read-tracing in validate mode.
+func (e *Engine) dist(a *san.Activity) rng.Dist {
+	if !e.validate {
+		return a.Dist(e.state)
+	}
+	e.state.StartTrace()
+	d := a.Dist(e.state)
+	e.checkTrace(a, "Dist")
+	return d
+}
+
+func (e *Engine) checkTrace(a *san.Activity, what string) {
+	reads := e.state.StopTrace()
+	declared := make(map[int]bool, len(a.Reads()))
+	for _, p := range a.Reads() {
+		declared[p.Index()] = true
+	}
+	for idx := range reads {
+		if !declared[idx] {
+			panic(fmt.Sprintf("sim: activity %q %s read undeclared place %q",
+				a.Name(), what, e.model.Places()[idx].Name()))
+		}
+	}
+}
+
+// sample schedules a fresh completion for a (assumed enabled).
+func (e *Engine) sample(a *san.Activity, d rng.Dist) {
+	delay := d.Sample(e.rand)
+	if delay < 0 {
+		delay = 0
+	}
+	ent := &e.sched[a.ID()]
+	ent.gen++
+	ent.scheduled = true
+	ent.dist = d
+	heap.Push(&e.heap, event{time: e.now + delay, act: a, gen: ent.gen})
+}
+
+// cancel invalidates a's scheduled event, if any.
+func (e *Engine) cancel(a *san.Activity) {
+	ent := &e.sched[a.ID()]
+	if ent.scheduled {
+		ent.scheduled = false
+		ent.gen++
+	}
+}
+
+// refresh re-evaluates scheduling for a after a marking change.
+func (e *Engine) refresh(a *san.Activity) {
+	if a.Kind() != san.Timed {
+		return
+	}
+	ent := &e.sched[a.ID()]
+	if !e.enabled(a) {
+		e.cancel(a)
+		return
+	}
+	if !ent.scheduled {
+		e.sample(a, e.dist(a))
+		return
+	}
+	switch a.ReactivationPolicy() {
+	case san.ReactivateNever:
+		// keep the sampled completion
+	case san.ReactivateAlways:
+		e.cancel(a)
+		e.sample(a, e.dist(a))
+	case san.ReactivateOnChange:
+		if d := e.dist(a); d != ent.dist {
+			e.cancel(a)
+			e.sample(a, d)
+		}
+	}
+}
+
+// processDirty refreshes every activity that depends on a dirtied place,
+// plus extras (the activity that just fired). Deduplicates via stamps.
+func (e *Engine) processDirty(extra *san.Activity) {
+	e.curStamp++
+	if extra != nil && extra.Kind() == san.Timed {
+		e.stamp[extra.ID()] = e.curStamp
+		e.refresh(extra)
+	}
+	for _, placeIdx := range e.state.Dirty() {
+		for _, a := range e.model.Dependents(placeIdx) {
+			if e.stamp[a.ID()] == e.curStamp {
+				continue
+			}
+			e.stamp[a.ID()] = e.curStamp
+			e.refresh(a)
+		}
+	}
+	e.state.ResetDirty()
+}
+
+// multiObserver fans callbacks out to all reward observers.
+type multiObserver []reward.Observer
+
+func (m multiObserver) Init(s *san.State, t float64) {
+	for _, o := range m {
+		o.Init(s, t)
+	}
+}
+func (m multiObserver) Advance(s *san.State, t0, t1 float64) {
+	for _, o := range m {
+		o.Advance(s, t0, t1)
+	}
+}
+func (m multiObserver) Fired(s *san.State, a *san.Activity, c int, t float64) {
+	for _, o := range m {
+		o.Fired(s, a, c, t)
+	}
+}
+func (m multiObserver) Done(s *san.State, t float64) {
+	for _, o := range m {
+		o.Done(s, t)
+	}
+}
+
+// RunOnce executes one replication to time until using the given stream,
+// reporting the trajectory to observers. maxFirings guards against runaway
+// models (0 means a generous default).
+func (e *Engine) RunOnce(until float64, stream *rng.Stream, obs []reward.Observer, maxFirings int64) error {
+	if maxFirings <= 0 {
+		maxFirings = 50_000_000
+	}
+	e.rand = stream
+	e.now = 0
+	e.firings = 0
+	e.heap = e.heap[:0]
+	for i := range e.sched {
+		e.sched[i].scheduled = false
+		e.sched[i].gen++
+	}
+	fresh := e.model.NewState()
+	e.state.CopyFrom(fresh)
+
+	ctx := &san.Context{State: e.state, Rand: e.rand, Now: 0}
+	if init := e.model.Init(); init != nil {
+		init(ctx)
+	}
+	if _, err := san.Stabilize(e.model, ctx); err != nil {
+		return err
+	}
+	e.state.ResetDirty()
+	watch := multiObserver(obs)
+	watch.Init(e.state, 0)
+
+	// Initial schedule: every timed activity is a candidate.
+	e.curStamp++
+	for _, a := range e.model.Activities() {
+		if a.Kind() == san.Timed {
+			e.stamp[a.ID()] = e.curStamp
+			e.refresh(a)
+		}
+	}
+	e.state.ResetDirty()
+
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
+		ent := &e.sched[ev.act.ID()]
+		if !ent.scheduled || ent.gen != ev.gen {
+			heap.Pop(&e.heap) // stale
+			continue
+		}
+		if ev.time > until {
+			break
+		}
+		heap.Pop(&e.heap)
+		ent.scheduled = false
+
+		if ev.time > e.now {
+			watch.Advance(e.state, e.now, ev.time)
+			e.now = ev.time
+		}
+		ctx.Now = e.now
+
+		caseIdx := ev.act.ChooseCase(ctx)
+		ev.act.Fire(ctx, caseIdx)
+		e.firings++
+		watch.Fired(e.state, ev.act, caseIdx, e.now)
+
+		// Resolve instantaneous activities, reporting each vanishing
+		// marking to observers (zero-width, so rate rewards are
+		// unaffected but impulse/latch observers see them).
+		for {
+			enabled := e.model.MaxInstantPriorityEnabled(e.state)
+			if len(enabled) == 0 {
+				break
+			}
+			var a *san.Activity
+			if len(enabled) == 1 {
+				a = enabled[0]
+			} else {
+				weights := make([]float64, len(enabled))
+				for i, en := range enabled {
+					weights[i] = en.Weight()
+				}
+				a = enabled[e.rand.Category(weights)]
+			}
+			ci := a.ChooseCase(ctx)
+			a.Fire(ctx, ci)
+			e.firings++
+			watch.Fired(e.state, a, ci, e.now)
+			if e.firings > maxFirings {
+				return fmt.Errorf("sim: exceeded %d firings at t=%v (unstable model?)", maxFirings, e.now)
+			}
+		}
+
+		e.processDirty(ev.act)
+
+		if e.firings > maxFirings {
+			return fmt.Errorf("sim: exceeded %d firings at t=%v", maxFirings, e.now)
+		}
+	}
+
+	if until > e.now {
+		watch.Advance(e.state, e.now, until)
+		e.now = until
+	}
+	watch.Done(e.state, e.now)
+	return nil
+}

@@ -1,0 +1,376 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+)
+
+// buildMM1K constructs an M/M/1/K queue as a SAN: place q holds the queue
+// length; arrive (rate lambda) is enabled while q < K; serve (rate mu) while
+// q > 0.
+func buildMM1K(t *testing.T, lambda, mu float64, k int) (*san.Model, *san.Place) {
+	t.Helper()
+	m := san.NewModel("mm1k")
+	q := m.Place("q", 0)
+	m.AddActivity(san.ActivityDef{
+		Name: "arrive", Kind: san.Timed,
+		Dist:    func(*san.State) rng.Dist { return rng.Expo(lambda) },
+		Enabled: func(s *san.State) bool { return s.Int(q) < k },
+		Reads:   []*san.Place{q},
+		Cases:   []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Add(q, 1) }}},
+	})
+	m.AddActivity(san.ActivityDef{
+		Name: "serve", Kind: san.Timed,
+		Dist:    func(*san.State) rng.Dist { return rng.Expo(mu) },
+		Enabled: func(s *san.State) bool { return s.Get(q) > 0 },
+		Reads:   []*san.Place{q},
+		Cases:   []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Add(q, -1) }}},
+	})
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return m, q
+}
+
+// mm1kStationary returns the stationary distribution of M/M/1/K.
+func mm1kStationary(lambda, mu float64, k int) []float64 {
+	rho := lambda / mu
+	pi := make([]float64, k+1)
+	total := 0.0
+	for n := 0; n <= k; n++ {
+		pi[n] = math.Pow(rho, float64(n))
+		total += pi[n]
+	}
+	for n := range pi {
+		pi[n] /= total
+	}
+	return pi
+}
+
+func TestMM1KAgainstAnalytic(t *testing.T) {
+	const lambda, mu, k = 2.0, 3.0, 5
+	m, q := buildMM1K(t, lambda, mu, k)
+	pi := mm1kStationary(lambda, mu, k)
+	wantLen := 0.0
+	for n, p := range pi {
+		wantLen += float64(n) * p
+	}
+	// Long window so the initial transient is negligible.
+	vars := []reward.Var{
+		&reward.TimeAverage{VarName: "len", F: func(s *san.State) float64 { return float64(s.Get(q)) }, From: 50, To: 400},
+		&reward.TimeAverage{VarName: "full", F: func(s *san.State) float64 {
+			if s.Int(q) == k {
+				return 1
+			}
+			return 0
+		}, From: 50, To: 400},
+	}
+	res, err := Run(Spec{Model: m, Until: 400, Reps: 64, Seed: 1, Vars: vars, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenEst := res.MustGet("len")
+	if math.Abs(lenEst.Mean-wantLen) > 3*lenEst.HalfWidth95+0.02 {
+		t.Fatalf("mean queue length %v ± %v, analytic %v", lenEst.Mean, lenEst.HalfWidth95, wantLen)
+	}
+	fullEst := res.MustGet("full")
+	if math.Abs(fullEst.Mean-pi[k]) > 3*fullEst.HalfWidth95+0.01 {
+		t.Fatalf("P(full) %v ± %v, analytic %v", fullEst.Mean, fullEst.HalfWidth95, pi[k])
+	}
+}
+
+// buildTwoState builds a failure/repair model: up=1 initially, fail rate
+// lambda, repair rate mu.
+func buildTwoState(t *testing.T, lambda, mu float64) (*san.Model, *san.Place) {
+	t.Helper()
+	m := san.NewModel("twostate")
+	up := m.Place("up", 1)
+	m.AddActivity(san.ActivityDef{
+		Name: "fail", Kind: san.Timed,
+		Dist:    func(*san.State) rng.Dist { return rng.Expo(lambda) },
+		Enabled: func(s *san.State) bool { return s.Get(up) == 1 },
+		Reads:   []*san.Place{up},
+		Cases:   []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Set(up, 0) }}},
+	})
+	m.AddActivity(san.ActivityDef{
+		Name: "repair", Kind: san.Timed,
+		Dist:    func(*san.State) rng.Dist { return rng.Expo(mu) },
+		Enabled: func(s *san.State) bool { return s.Get(up) == 0 },
+		Reads:   []*san.Place{up},
+		Cases:   []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Set(up, 1) }}},
+	})
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return m, up
+}
+
+func TestTwoStateIntervalUnavailability(t *testing.T) {
+	// Analytic interval unavailability over [0,T] starting up:
+	// U(t) = λ/(λ+μ) (1 - e^{-(λ+μ)t}); avg over [0,T] =
+	// λ/(λ+μ) [1 - (1 - e^{-(λ+μ)T})/((λ+μ)T)].
+	const lambda, mu, T = 0.5, 2.0, 8.0
+	s := lambda + mu
+	want := lambda / s * (1 - (1-math.Exp(-s*T))/(s*T))
+	m, up := buildTwoState(t, lambda, mu)
+	vars := []reward.Var{
+		&reward.TimeAverage{VarName: "unavail", F: func(st *san.State) float64 {
+			if st.Get(up) == 0 {
+				return 1
+			}
+			return 0
+		}, From: 0, To: T},
+	}
+	res, err := Run(Spec{Model: m, Until: T, Reps: 4000, Seed: 2, Vars: vars})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := res.MustGet("unavail")
+	if math.Abs(est.Mean-want) > 3*est.HalfWidth95 {
+		t.Fatalf("interval unavailability %v ± %v, analytic %v", est.Mean, est.HalfWidth95, want)
+	}
+}
+
+func TestTwoStateFirstPassage(t *testing.T) {
+	// P(fail by T) = 1 - e^{-λT} starting up.
+	const lambda, mu, T = 0.3, 5.0, 4.0
+	want := 1 - math.Exp(-lambda*T)
+	m, up := buildTwoState(t, lambda, mu)
+	vars := []reward.Var{
+		&reward.FirstPassage{VarName: "unrel", Pred: func(st *san.State) bool { return st.Get(up) == 0 }, By: T},
+	}
+	res, err := Run(Spec{Model: m, Until: T, Reps: 6000, Seed: 3, Vars: vars})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := res.MustGet("unrel")
+	if math.Abs(est.Mean-want) > 3*est.HalfWidth95 {
+		t.Fatalf("unreliability %v ± %v, analytic %v", est.Mean, est.HalfWidth95, want)
+	}
+}
+
+func TestDeterministicTimes(t *testing.T) {
+	// A deterministic clock ticking every 1.5 units: exactly 6 firings by
+	// t=10 (at 1.5, 3, 4.5, 6, 7.5, 9).
+	m := san.NewModel("det")
+	n := m.Place("n", 0)
+	m.AddActivity(san.ActivityDef{
+		Name: "tick", Kind: san.Timed,
+		Dist:         func(*san.State) rng.Dist { return rng.Deterministic{V: 1.5} },
+		Enabled:      func(s *san.State) bool { return s.Get(n) < 100 },
+		Reads:        []*san.Place{n},
+		Reactivation: san.ReactivateNever,
+		Cases:        []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Add(n, 1) }}},
+	})
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	vars := []reward.Var{
+		&reward.AtTime{VarName: "n", F: func(s *san.State) float64 { return float64(s.Get(n)) }, T: 10},
+	}
+	res, err := Run(Spec{Model: m, Until: 10, Reps: 3, Seed: 4, Vars: vars})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MustGet("n").Mean; got != 6 {
+		t.Fatalf("deterministic ticks by t=10: %v, want 6", got)
+	}
+}
+
+func TestReactivationOnRateChange(t *testing.T) {
+	// Activity "work" has rate 100 while boost=1, else 0.001. "boost" fires
+	// deterministically at t=1 setting boost=1. With ReactivateOnChange the
+	// work activity resamples at t=1 with the fast rate, so it almost surely
+	// completes before t=1.5. With ReactivateNever it keeps its original
+	// (slow) sample and almost surely does not complete by t=1.5.
+	build := func(policy san.Reactivation) (*san.Model, *san.Place) {
+		m := san.NewModel("react")
+		boost := m.Place("boost", 0)
+		done := m.Place("done", 0)
+		m.AddActivity(san.ActivityDef{
+			Name: "booster", Kind: san.Timed,
+			Dist:    func(*san.State) rng.Dist { return rng.Deterministic{V: 1} },
+			Enabled: func(s *san.State) bool { return s.Get(boost) == 0 },
+			Reads:   []*san.Place{boost},
+			Cases:   []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Set(boost, 1) }}},
+		})
+		m.AddActivity(san.ActivityDef{
+			Name: "work", Kind: san.Timed,
+			Dist: func(s *san.State) rng.Dist {
+				if s.Get(boost) == 1 {
+					return rng.Expo(100)
+				}
+				return rng.Expo(0.001)
+			},
+			Enabled:      func(s *san.State) bool { return s.Get(done) == 0 },
+			Reads:        []*san.Place{boost, done},
+			Reactivation: policy,
+			Cases:        []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Set(done, 1) }}},
+		})
+		if err := m.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		return m, done
+	}
+	prob := func(policy san.Reactivation) float64 {
+		m, done := build(policy)
+		vars := []reward.Var{
+			&reward.AtTime{VarName: "done", F: func(s *san.State) float64 { return float64(s.Get(done)) }, T: 1.5},
+		}
+		res, err := Run(Spec{Model: m, Until: 1.5, Reps: 400, Seed: 5, Vars: vars, Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MustGet("done").Mean
+	}
+	if p := prob(san.ReactivateOnChange); p < 0.95 {
+		t.Fatalf("ReactivateOnChange completion prob %v, want ~1", p)
+	}
+	if p := prob(san.ReactivateNever); p > 0.05 {
+		t.Fatalf("ReactivateNever completion prob %v, want ~0", p)
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	m, q := buildMM1K(t, 2, 3, 5)
+	vars := func() []reward.Var {
+		return []reward.Var{
+			&reward.TimeAverage{VarName: "len", F: func(s *san.State) float64 { return float64(s.Get(q)) }, From: 0, To: 50},
+		}
+	}
+	r1, err := Run(Spec{Model: m, Until: 50, Reps: 40, Seed: 42, Vars: vars(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Spec{Model: m, Until: 50, Reps: 40, Seed: 42, Vars: vars(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trajectories are per-replication deterministic; aggregation order
+	// across workers differs, so allow float-associativity noise only.
+	if d := math.Abs(r1.MustGet("len").Mean - r2.MustGet("len").Mean); d > 1e-9 {
+		t.Fatalf("results differ across worker counts by %v: %v vs %v",
+			d, r1.MustGet("len").Mean, r2.MustGet("len").Mean)
+	}
+	r3, err := Run(Spec{Model: m, Until: 50, Reps: 40, Seed: 43, Vars: vars(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MustGet("len").Mean == r3.MustGet("len").Mean {
+		t.Fatal("different seeds gave identical results")
+	}
+}
+
+func TestValidateCatchesUndeclaredRead(t *testing.T) {
+	m := san.NewModel("bad")
+	a := m.Place("a", 1)
+	b := m.Place("b", 1)
+	m.AddActivity(san.ActivityDef{
+		Name: "sneaky", Kind: san.Timed,
+		Dist: func(*san.State) rng.Dist { return rng.Expo(1) },
+		// reads b but declares only a
+		Enabled: func(s *san.State) bool { return s.Get(a) > 0 && s.Get(b) > 0 },
+		Reads:   []*san.Place{a},
+		Cases:   []san.Case{{Prob: 1, Effect: func(ctx *san.Context) { ctx.State.Set(a, 0) }}},
+	})
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "undeclared place") {
+			t.Fatalf("recover = %v, want undeclared-place panic", r)
+		}
+	}()
+	eng := NewEngine(m, true)
+	_ = eng.RunOnce(1, rng.New(1), nil, 0)
+}
+
+func TestSpecValidation(t *testing.T) {
+	m, _ := buildMM1K(t, 1, 2, 3)
+	if _, err := Run(Spec{Model: nil, Until: 1, Reps: 1}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := Run(Spec{Model: m, Until: 1, Reps: 0}); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+	if _, err := Run(Spec{Model: m, Until: 0, Reps: 1}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	unfinalized := san.NewModel("u")
+	if _, err := Run(Spec{Model: unfinalized, Until: 1, Reps: 1}); err == nil {
+		t.Fatal("unfinalized model accepted")
+	}
+}
+
+func TestMaxFiringsGuard(t *testing.T) {
+	m, _ := buildMM1K(t, 1000, 1000, 5)
+	_, err := Run(Spec{Model: m, Until: 1000, Reps: 1, Seed: 1, MaxFirings: 100})
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("err = %v, want exceeded-firings error", err)
+	}
+}
+
+func TestInitHookAndInstantaneous(t *testing.T) {
+	// Init hook seeds tokens; an instantaneous activity immediately moves
+	// them before any timed firing; AtTime(0+) should see the stable state.
+	m := san.NewModel("init")
+	in := m.Place("in", 0)
+	out := m.Place("out", 0)
+	m.SetInit(func(ctx *san.Context) { ctx.State.Set(in, 3) })
+	m.AddActivity(san.ActivityDef{
+		Name: "mv", Kind: san.Instant,
+		Enabled: func(s *san.State) bool { return s.Get(in) > 0 },
+		Reads:   []*san.Place{in},
+		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+			ctx.State.Add(in, -1)
+			ctx.State.Add(out, 1)
+		}}},
+	})
+	m.AddActivity(san.ActivityDef{
+		Name: "noop", Kind: san.Timed,
+		Dist:    func(*san.State) rng.Dist { return rng.Expo(0.0001) },
+		Enabled: func(s *san.State) bool { return s.Get(out) < 100 },
+		Reads:   []*san.Place{out},
+		Cases:   []san.Case{{Prob: 1}},
+	})
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	vars := []reward.Var{
+		&reward.AtTime{VarName: "out0", F: func(s *san.State) float64 { return float64(s.Get(out)) }, T: 0},
+	}
+	res, err := Run(Spec{Model: m, Until: 1, Reps: 2, Seed: 9, Vars: vars, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MustGet("out0").Mean; got != 3 {
+		t.Fatalf("out at t=0 = %v, want 3 (init + stabilization before observers)", got)
+	}
+}
+
+func TestEstimateStringAndSorted(t *testing.T) {
+	m, q := buildMM1K(t, 1, 2, 3)
+	vars := []reward.Var{
+		&reward.TimeAverage{VarName: "b", F: func(s *san.State) float64 { return float64(s.Get(q)) }, From: 0, To: 1},
+		&reward.Count{VarName: "a", Match: func(*san.Activity, int) bool { return true }, From: 0, To: 1},
+	}
+	res, err := Run(Spec{Model: m, Until: 1, Reps: 4, Seed: 6, Vars: vars})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Sorted(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Sorted() = %v", got)
+	}
+	if s := res.MustGet("a").String(); !strings.Contains(s, "a = ") {
+		t.Fatalf("String() = %q", s)
+	}
+	if _, ok := res.Get("zzz"); ok {
+		t.Fatal("Get of unknown name succeeded")
+	}
+}

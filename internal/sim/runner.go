@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+	"ituaval/internal/stats"
+)
+
+// Spec describes a replicated terminating simulation study.
+type Spec struct {
+	// Model is the finalized SAN to simulate.
+	Model *san.Model
+	// Until is the end time of each replication.
+	Until float64
+	// Reps is the number of independent replications (must be >= 1).
+	Reps int
+	// Seed is the root seed; replication i uses the derived stream i, so
+	// results are reproducible and independent of worker scheduling.
+	Seed uint64
+	// Vars are the reward variables to estimate.
+	Vars []reward.Var
+	// Workers limits parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Validate enables read-trace dependency checking (slow; for tests).
+	Validate bool
+	// MaxFirings bounds the firings per replication (0 = default).
+	MaxFirings int64
+	// Quantiles, when non-empty, requests the given sample quantiles (in
+	// [0,1]) of every variable's per-replication observations, at the cost
+	// of retaining all observations in memory.
+	Quantiles []float64
+}
+
+// Estimate is the aggregated result for one reward variable.
+type Estimate struct {
+	Name string
+	// Mean is the point estimate across all emitted observations.
+	Mean float64
+	// HalfWidth95 is the 95% confidence half-width.
+	HalfWidth95 float64
+	// N is the number of observations (replications that emitted a value).
+	N int64
+	// Min and Max are the extreme observations.
+	Min, Max float64
+	// Quantiles holds the requested sample quantiles, parallel to
+	// Spec.Quantiles (nil when none were requested or no observations).
+	Quantiles []float64
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s = %.6g ± %.2g (n=%d)", e.Name, e.Mean, e.HalfWidth95, e.N)
+}
+
+// Results holds the study outcome.
+type Results struct {
+	// Estimates, in the order of Spec.Vars.
+	Estimates []Estimate
+	// TotalFirings across all replications.
+	TotalFirings int64
+	// Reps actually run.
+	Reps   int
+	byName map[string]*Estimate
+}
+
+// Get returns the estimate for the named variable.
+func (r *Results) Get(name string) (Estimate, bool) {
+	e, ok := r.byName[name]
+	if !ok {
+		return Estimate{}, false
+	}
+	return *e, true
+}
+
+// MustGet returns the named estimate or panics, for harness code whose
+// variable set is static.
+func (r *Results) MustGet(name string) Estimate {
+	e, ok := r.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("sim: no estimate named %q", name))
+	}
+	return e
+}
+
+// Run executes the study: Spec.Reps replications of Spec.Model, partitioned
+// over workers, aggregating every reward variable. Replication i always
+// uses stream Derive(Seed)(i) regardless of the worker that runs it.
+func Run(spec Spec) (*Results, error) {
+	if spec.Model == nil || !spec.Model.Finalized() {
+		return nil, errors.New("sim: Spec.Model must be a finalized model")
+	}
+	if spec.Reps < 1 {
+		return nil, fmt.Errorf("sim: Reps must be >= 1, got %d", spec.Reps)
+	}
+	if spec.Until <= 0 {
+		return nil, fmt.Errorf("sim: Until must be > 0, got %v", spec.Until)
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Reps {
+		workers = spec.Reps
+	}
+
+	root := rng.New(spec.Seed)
+	type workerResult struct {
+		accums  []*stats.Accumulator
+		samples [][]float64
+		firings int64
+		err     error
+	}
+	results := make([]workerResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			res.accums = make([]*stats.Accumulator, len(spec.Vars))
+			for i := range res.accums {
+				res.accums[i] = &stats.Accumulator{}
+			}
+			if len(spec.Quantiles) > 0 {
+				res.samples = make([][]float64, len(spec.Vars))
+			}
+			eng := NewEngine(spec.Model, spec.Validate)
+			obs := make([]reward.Observer, len(spec.Vars))
+			for rep := w; rep < spec.Reps; rep += workers {
+				for i, v := range spec.Vars {
+					obs[i] = v.NewObserver()
+				}
+				stream := root.Derive(uint64(rep))
+				if err := eng.RunOnce(spec.Until, stream, obs, spec.MaxFirings); err != nil {
+					res.err = fmt.Errorf("replication %d: %w", rep, err)
+					return
+				}
+				res.firings += eng.Firings()
+				for i := range obs {
+					acc := res.accums[i]
+					obs[i].Results(func(x float64) {
+						acc.Add(x)
+						if res.samples != nil {
+							res.samples[i] = append(res.samples[i], x)
+						}
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out := &Results{Reps: spec.Reps, byName: make(map[string]*Estimate, len(spec.Vars))}
+	merged := make([]*stats.Accumulator, len(spec.Vars))
+	for i := range merged {
+		merged[i] = &stats.Accumulator{}
+	}
+	var pooled [][]float64
+	if len(spec.Quantiles) > 0 {
+		pooled = make([][]float64, len(spec.Vars))
+	}
+	for w := range results {
+		if results[w].err != nil {
+			return nil, results[w].err
+		}
+		out.TotalFirings += results[w].firings
+		for i := range merged {
+			merged[i].Merge(results[w].accums[i])
+			if pooled != nil && results[w].samples != nil {
+				pooled[i] = append(pooled[i], results[w].samples[i]...)
+			}
+		}
+	}
+	for i, v := range spec.Vars {
+		a := merged[i]
+		est := Estimate{Name: v.Name(), N: a.N()}
+		if a.N() > 0 {
+			est.Mean, est.Min, est.Max = a.Mean(), a.Min(), a.Max()
+		}
+		if a.N() >= 2 {
+			est.HalfWidth95 = a.HalfWidth(0.95)
+		}
+		if pooled != nil && len(pooled[i]) > 0 {
+			est.Quantiles = make([]float64, len(spec.Quantiles))
+			for qi, q := range spec.Quantiles {
+				est.Quantiles[qi] = stats.Quantile(pooled[i], q)
+			}
+		}
+		out.Estimates = append(out.Estimates, est)
+	}
+	for i := range out.Estimates {
+		out.byName[out.Estimates[i].Name] = &out.Estimates[i]
+	}
+	return out, nil
+}
+
+// Sorted returns estimate names in sorted order (stable table output).
+func (r *Results) Sorted() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

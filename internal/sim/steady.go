@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+	"ituaval/internal/stats"
+)
+
+// SteadySpec configures a steady-state simulation by the batch-means
+// method: one long trajectory is split (after a warm-up period) into
+// contiguous batches, the rate reward is time-averaged within each batch,
+// and the batch means — approximately independent for long batches — give
+// the confidence interval. This is the second solution mode of the Möbius
+// simulator alongside replicated terminating studies.
+type SteadySpec struct {
+	// Model is the finalized SAN.
+	Model *san.Model
+	// F is the rate reward whose steady-state expectation is estimated.
+	F func(s *san.State) float64
+	// Warmup is simulated time discarded before measurement begins.
+	Warmup float64
+	// BatchLength is the simulated time per batch (must be > 0).
+	BatchLength float64
+	// Batches is the number of batches (>= 2; default 32).
+	Batches int
+	// Seed seeds the single trajectory.
+	Seed uint64
+	// MaxFirings bounds the run (0 = default).
+	MaxFirings int64
+}
+
+// SteadyEstimate is a batch-means estimate.
+type SteadyEstimate struct {
+	Mean        float64
+	HalfWidth95 float64
+	Batches     int
+	// LagOneCorr is the lag-1 autocorrelation of the batch means; values
+	// far from zero mean the batches are too short for a trustworthy CI.
+	LagOneCorr float64
+}
+
+func (e SteadyEstimate) String() string {
+	return fmt.Sprintf("%.6g ± %.2g (batches=%d, lag1=%.2f)", e.Mean, e.HalfWidth95, e.Batches, e.LagOneCorr)
+}
+
+// batchObserver accumulates ∫F dt per fixed-width batch window.
+type batchObserver struct {
+	f       func(s *san.State) float64
+	warmup  float64
+	length  float64
+	batches []float64
+	max     int
+}
+
+func (o *batchObserver) Init(*san.State, float64)                      {}
+func (o *batchObserver) Fired(*san.State, *san.Activity, int, float64) {}
+func (o *batchObserver) Done(*san.State, float64)                      {}
+func (o *batchObserver) Results(func(float64))                         {}
+
+func (o *batchObserver) Advance(s *san.State, t0, t1 float64) {
+	if t1 <= o.warmup {
+		return
+	}
+	if t0 < o.warmup {
+		t0 = o.warmup
+	}
+	v := o.f(s)
+	if v == 0 {
+		return
+	}
+	// Distribute v*(t1-t0) over the batch windows the interval spans.
+	for t0 < t1 {
+		idx := int((t0 - o.warmup) / o.length)
+		if idx >= o.max {
+			return
+		}
+		for len(o.batches) <= idx {
+			o.batches = append(o.batches, 0)
+		}
+		end := o.warmup + float64(idx+1)*o.length
+		if end > t1 {
+			end = t1
+		}
+		o.batches[idx] += v * (end - t0)
+		t0 = end
+	}
+}
+
+// RunSteady estimates the steady-state expectation of spec.F.
+func RunSteady(spec SteadySpec) (SteadyEstimate, error) {
+	if spec.Model == nil || !spec.Model.Finalized() {
+		return SteadyEstimate{}, errors.New("sim: SteadySpec.Model must be a finalized model")
+	}
+	if spec.F == nil {
+		return SteadyEstimate{}, errors.New("sim: SteadySpec.F is required")
+	}
+	if spec.BatchLength <= 0 {
+		return SteadyEstimate{}, fmt.Errorf("sim: BatchLength must be > 0, got %v", spec.BatchLength)
+	}
+	if spec.Batches == 0 {
+		spec.Batches = 32
+	}
+	if spec.Batches < 2 {
+		return SteadyEstimate{}, fmt.Errorf("sim: need at least 2 batches, got %d", spec.Batches)
+	}
+	if spec.Warmup < 0 {
+		return SteadyEstimate{}, fmt.Errorf("sim: negative warmup %v", spec.Warmup)
+	}
+	obs := &batchObserver{f: spec.F, warmup: spec.Warmup, length: spec.BatchLength, max: spec.Batches}
+	until := spec.Warmup + float64(spec.Batches)*spec.BatchLength
+	eng := NewEngine(spec.Model, false)
+	if err := eng.RunOnce(until, rng.New(spec.Seed), []reward.Observer{obs}, spec.MaxFirings); err != nil {
+		return SteadyEstimate{}, err
+	}
+	for len(obs.batches) < spec.Batches {
+		obs.batches = append(obs.batches, 0)
+	}
+	var acc stats.Accumulator
+	for _, b := range obs.batches {
+		acc.Add(b / spec.BatchLength)
+	}
+	return SteadyEstimate{
+		Mean:        acc.Mean(),
+		HalfWidth95: acc.HalfWidth(0.95),
+		Batches:     spec.Batches,
+		LagOneCorr:  lag1(obs.batches),
+	}, nil
+}
+
+// lag1 returns the lag-1 autocorrelation of xs.
+func lag1(xs []float64) float64 {
+	n := len(xs)
+	if n < 3 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	num, den := 0.0, 0.0
+	for i, x := range xs {
+		d := x - mean
+		den += d * d
+		if i > 0 {
+			num += (xs[i-1] - mean) * d
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+)
+
+func TestSteadyStateMM1K(t *testing.T) {
+	const lambda, mu, k = 2.0, 3.0, 5
+	m, q := buildMM1K(t, lambda, mu, k)
+	est, err := RunSteady(SteadySpec{
+		Model:       m,
+		F:           func(s *san.State) float64 { return float64(s.Get(q)) },
+		Warmup:      50,
+		BatchLength: 200,
+		Batches:     40,
+		Seed:        17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic stationary mean queue length.
+	rho := lambda / mu
+	norm, want := 0.0, 0.0
+	for n := 0; n <= k; n++ {
+		p := math.Pow(rho, float64(n))
+		norm += p
+		want += float64(n) * p
+	}
+	want /= norm
+	if math.Abs(est.Mean-want) > 3*est.HalfWidth95+0.02 {
+		t.Fatalf("steady-state mean %v ± %v, analytic %v", est.Mean, est.HalfWidth95, want)
+	}
+	if math.Abs(est.LagOneCorr) > 0.5 {
+		t.Fatalf("batch means highly correlated: lag1 = %v", est.LagOneCorr)
+	}
+	if est.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSteadyStateTwoState(t *testing.T) {
+	const lambda, mu = 0.5, 2.0
+	m, up := buildTwoState(t, lambda, mu)
+	est, err := RunSteady(SteadySpec{
+		Model: m,
+		F: func(s *san.State) float64 {
+			if s.Get(up) == 0 {
+				return 1
+			}
+			return 0
+		},
+		Warmup:      20,
+		BatchLength: 100,
+		Batches:     40,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lambda / (lambda + mu)
+	if math.Abs(est.Mean-want) > 3*est.HalfWidth95+0.01 {
+		t.Fatalf("steady unavailability %v ± %v, analytic %v", est.Mean, est.HalfWidth95, want)
+	}
+}
+
+func TestRunSteadyValidation(t *testing.T) {
+	m, q := buildMM1K(t, 1, 2, 3)
+	f := func(s *san.State) float64 { return float64(s.Get(q)) }
+	cases := []SteadySpec{
+		{Model: nil, F: f, BatchLength: 1},
+		{Model: m, F: nil, BatchLength: 1},
+		{Model: m, F: f, BatchLength: 0},
+		{Model: m, F: f, BatchLength: 1, Batches: 1},
+		{Model: m, F: f, BatchLength: 1, Warmup: -1},
+	}
+	for i, spec := range cases {
+		if _, err := RunSteady(spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestBatchObserverWindowing(t *testing.T) {
+	m, q := buildMM1K(t, 1, 2, 3)
+	s := m.NewState()
+	s.Set(q, 2)
+	obs := &batchObserver{
+		f:      func(st *san.State) float64 { return float64(st.Get(q)) },
+		warmup: 10, length: 5, max: 3,
+	}
+	// Interval spanning warmup boundary and two batch windows.
+	obs.Advance(s, 8, 17) // contributes [10,15): 2*5=10, [15,17): 2*2=4
+	obs.Advance(s, 17, 100)
+	if len(obs.batches) != 3 {
+		t.Fatalf("batches = %v", obs.batches)
+	}
+	if obs.batches[0] != 10 || obs.batches[1] != 10 || obs.batches[2] != 10 {
+		t.Fatalf("batch integrals = %v", obs.batches)
+	}
+}
+
+func TestLag1(t *testing.T) {
+	if got := lag1([]float64{1, 1, 1, 1}); got != 0 {
+		t.Fatalf("constant series lag1 = %v", got)
+	}
+	if got := lag1([]float64{1, 2}); got != 0 {
+		t.Fatalf("short series lag1 = %v", got)
+	}
+	// Perfectly alternating series has lag-1 near -1.
+	if got := lag1([]float64{1, -1, 1, -1, 1, -1, 1, -1}); got > -0.7 {
+		t.Fatalf("alternating series lag1 = %v", got)
+	}
+}
+
+func TestQuantilesInRun(t *testing.T) {
+	m, up := buildTwoState(t, 0.5, 2)
+	vars := []reward.Var{
+		&reward.TimeAverage{VarName: "unavail", F: func(s *san.State) float64 {
+			if s.Get(up) == 0 {
+				return 1
+			}
+			return 0
+		}, From: 0, To: 10},
+	}
+	res, err := Run(Spec{
+		Model: m, Until: 10, Reps: 500, Seed: 4, Vars: vars,
+		Quantiles: []float64{0, 0.5, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := res.MustGet("unavail")
+	if len(est.Quantiles) != 3 {
+		t.Fatalf("quantiles = %v", est.Quantiles)
+	}
+	if est.Quantiles[0] != est.Min || est.Quantiles[2] != est.Max {
+		t.Fatalf("extreme quantiles %v don't match min/max %v/%v", est.Quantiles, est.Min, est.Max)
+	}
+	if est.Quantiles[1] < est.Min || est.Quantiles[1] > est.Max {
+		t.Fatalf("median %v outside range", est.Quantiles[1])
+	}
+	// Without the option, no quantiles are produced.
+	res2, err := Run(Spec{Model: m, Until: 10, Reps: 50, Seed: 4, Vars: vars})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MustGet("unavail").Quantiles != nil {
+		t.Fatal("quantiles produced without being requested")
+	}
+}
+
+func TestQuantilesDeterministicAcrossWorkers(t *testing.T) {
+	m, q := buildMM1K(t, 2, 3, 5)
+	vars := func() []reward.Var {
+		return []reward.Var{
+			&reward.AtTime{VarName: "len", F: func(s *san.State) float64 { return float64(s.Get(q)) }, T: 20},
+		}
+	}
+	r1, err := Run(Spec{Model: m, Until: 20, Reps: 200, Seed: 9, Vars: vars(), Workers: 1, Quantiles: []float64{0.5, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(Spec{Model: m, Until: 20, Reps: 200, Seed: 9, Vars: vars(), Workers: 4, Quantiles: []float64{0.5, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, q4 := r1.MustGet("len").Quantiles, r4.MustGet("len").Quantiles
+	if q1[0] != q4[0] || q1[1] != q4[1] {
+		t.Fatalf("quantiles differ across worker counts: %v vs %v", q1, q4)
+	}
+	_ = rng.New(0) // keep rng imported for symmetry with other tests
+}

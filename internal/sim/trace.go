@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ituaval/internal/san"
+)
+
+// TraceEvent records one activity completion.
+type TraceEvent struct {
+	Time     float64
+	Activity string
+	Case     string
+	CaseIdx  int
+}
+
+// Trace is a reward.Observer that records the last Cap activity completions
+// of a replication — the debugging companion to the engine's validation
+// mode. Attach it to Spec.Vars via reward.Func or pass it directly to
+// Engine.RunOnce.
+type Trace struct {
+	// Cap bounds the number of retained events (0 = 4096). The most recent
+	// events win.
+	Cap int
+
+	events []TraceEvent
+	start  int
+	total  int64
+}
+
+// Init implements reward.Observer.
+func (t *Trace) Init(*san.State, float64) {
+	t.events = t.events[:0]
+	t.start = 0
+	t.total = 0
+}
+
+// Advance implements reward.Observer.
+func (t *Trace) Advance(*san.State, float64, float64) {}
+
+// Fired implements reward.Observer.
+func (t *Trace) Fired(_ *san.State, a *san.Activity, caseIdx int, tm float64) {
+	cap := t.Cap
+	if cap <= 0 {
+		cap = 4096
+	}
+	name := ""
+	if caseIdx < len(a.Cases()) {
+		name = a.Cases()[caseIdx].Name
+	}
+	ev := TraceEvent{Time: tm, Activity: a.Name(), Case: name, CaseIdx: caseIdx}
+	if len(t.events) < cap {
+		t.events = append(t.events, ev)
+	} else {
+		t.events[t.start] = ev
+		t.start = (t.start + 1) % cap
+	}
+	t.total++
+}
+
+// Done implements reward.Observer.
+func (t *Trace) Done(*san.State, float64) {}
+
+// Results implements reward.Observer (traces yield no numeric results).
+func (t *Trace) Results(func(float64)) {}
+
+// Total returns the number of completions observed (including evicted).
+func (t *Trace) Total() int64 { return t.total }
+
+// Events returns the retained events in chronological order.
+func (t *Trace) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(t.events))
+	for i := 0; i < len(t.events); i++ {
+		out = append(out, t.events[(t.start+i)%len(t.events)])
+	}
+	return out
+}
+
+// WriteTo dumps the retained trace as text.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d completions (%d retained)\n", t.total, len(t.events))
+	for _, ev := range t.Events() {
+		if ev.Case != "" {
+			fmt.Fprintf(&b, "%12.6f  %s [%s]\n", ev.Time, ev.Activity, ev.Case)
+		} else {
+			fmt.Fprintf(&b, "%12.6f  %s\n", ev.Time, ev.Activity)
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

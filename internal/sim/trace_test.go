@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+)
+
+func TestTraceRecordsCompletions(t *testing.T) {
+	m, _ := buildMM1K(t, 2, 3, 5)
+	tr := &Trace{}
+	eng := NewEngine(m, false)
+	if err := eng.RunOnce(10, rng.New(1), []reward.Observer{tr}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != eng.Firings() {
+		t.Fatalf("trace total %d != engine firings %d", tr.Total(), eng.Firings())
+	}
+	events := tr.Events()
+	if int64(len(events)) != tr.Total() {
+		t.Fatalf("retained %d of %d with default cap", len(events), tr.Total())
+	}
+	last := -1.0
+	for _, ev := range events {
+		if ev.Time < last {
+			t.Fatal("trace not chronological")
+		}
+		last = ev.Time
+		if ev.Activity != "arrive" && ev.Activity != "serve" {
+			t.Fatalf("unexpected activity %q", ev.Activity)
+		}
+	}
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "arrive") {
+		t.Fatalf("dump missing events:\n%s", sb.String())
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	m, _ := buildMM1K(t, 5, 5, 3)
+	tr := &Trace{Cap: 8}
+	eng := NewEngine(m, false)
+	if err := eng.RunOnce(50, rng.New(2), []reward.Observer{tr}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() <= 8 {
+		t.Skip("run too short to exercise eviction")
+	}
+	events := tr.Events()
+	if len(events) != 8 {
+		t.Fatalf("retained %d, want 8", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatal("evicting ring lost chronological order")
+		}
+	}
+}
+
+func TestTraceReusedAcrossRuns(t *testing.T) {
+	m, _ := buildMM1K(t, 2, 3, 5)
+	tr := &Trace{}
+	eng := NewEngine(m, false)
+	if err := eng.RunOnce(5, rng.New(3), []reward.Observer{tr}, 0); err != nil {
+		t.Fatal(err)
+	}
+	first := tr.Total()
+	if err := eng.RunOnce(5, rng.New(3), []reward.Observer{tr}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != first {
+		t.Fatalf("Init did not reset the trace: %d vs %d", tr.Total(), first)
+	}
+}

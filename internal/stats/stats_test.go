@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ituaval/internal/rng"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v ± %v", what, got, want, tol)
+	}
+}
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if !math.IsNaN(a.Mean()) || !math.IsNaN(a.Min()) {
+		t.Fatal("empty accumulator should report NaN")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	almost(t, a.Mean(), 5, 1e-12, "mean")
+	almost(t, a.Variance(), 32.0/7, 1e-12, "variance")
+	almost(t, a.Min(), 2, 0, "min")
+	almost(t, a.Max(), 9, 0, "max")
+	almost(t, a.Sum(), 40, 1e-9, "sum")
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	s := rng.New(1)
+	var whole, left, right Accumulator
+	for i := 0; i < 1000; i++ {
+		x := s.Float64()*10 - 5
+		whole.Add(x)
+		if i < 400 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	almost(t, left.Mean(), whole.Mean(), 1e-10, "merged mean")
+	almost(t, left.Variance(), whole.Variance(), 1e-9, "merged variance")
+	almost(t, left.Min(), whole.Min(), 0, "merged min")
+	almost(t, left.Max(), whole.Max(), 0, "merged max")
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d want %d", left.N(), whole.N())
+	}
+}
+
+func TestAccumulatorMergeEmpty(t *testing.T) {
+	var a, b Accumulator
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	almost(t, a.Mean(), 2, 1e-12, "mean after empty merge")
+	b.Merge(&a) // merging into empty copies
+	almost(t, b.Mean(), 2, 1e-12, "mean after merge into empty")
+}
+
+func TestHalfWidthKnownValue(t *testing.T) {
+	// n=10 samples with stddev s: hw95 = t_{0.975,9} * s/sqrt(10),
+	// t_{0.975,9} = 2.262157...
+	var a Accumulator
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i))
+	}
+	want := 2.2621571628 * a.StdErr()
+	almost(t, a.HalfWidth(0.95), want, 1e-6, "hw95")
+	lo, hi := a.CI(0.95)
+	almost(t, hi-lo, 2*want, 1e-6, "CI width")
+}
+
+func TestCICoverage(t *testing.T) {
+	// 95% CIs over repeated experiments should cover the true mean ~95% of
+	// the time. 400 experiments of 30 exponential samples; allow 90–99%.
+	root := rng.New(2024)
+	covered := 0
+	const experiments = 400
+	for e := 0; e < experiments; e++ {
+		s := root.Derive(uint64(e))
+		var a Accumulator
+		for i := 0; i < 30; i++ {
+			a.Add(s.Expo(2))
+		}
+		lo, hi := a.CI(0.95)
+		if lo <= 0.5 && 0.5 <= hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / experiments
+	if frac < 0.90 || frac > 0.995 {
+		t.Fatalf("95%% CI coverage was %v", frac)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	almost(t, Quantile(xs, 0), 1, 0, "q0")
+	almost(t, Quantile(xs, 1), 5, 0, "q1")
+	almost(t, Quantile(xs, 0.5), 3, 0, "median")
+	almost(t, Quantile(xs, 0.25), 2, 1e-12, "q25")
+	almost(t, Quantile([]float64{7}, 0.3), 7, 0, "singleton")
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts=%v", h.Counts)
+	}
+	almost(t, h.BinCenter(0), 1, 1e-12, "bin center")
+	almost(t, h.Density(0), 2.0/(7*2), 1e-12, "density")
+	if h.Total() != 7 {
+		t.Fatalf("total=%d", h.Total())
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	acc, err := BatchMeans(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, acc.Mean(), 4.5, 1e-12, "batch mean")
+	if acc.N() != 10 {
+		t.Fatalf("batches=%d", acc.N())
+	}
+	if _, err := BatchMeans(xs, 1); err == nil {
+		t.Fatal("expected error for 1 batch")
+	}
+	if _, err := BatchMeans(xs[:5], 10); err == nil {
+		t.Fatal("expected error for too few observations")
+	}
+}
+
+func TestQuickAccumulatorMeanWithinRange(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		anyFinite := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				continue // avoid float64 overflow in delta products
+			}
+			anyFinite = true
+			a.Add(x)
+		}
+		if !anyFinite {
+			return true
+		}
+		return a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVarianceNonNegative(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var a Accumulator
+		for _, r := range raw {
+			a.Add(float64(r))
+		}
+		return a.Variance() >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"ituaval/internal/core"
+	"ituaval/internal/ituadirect"
+	"ituaval/internal/mc"
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+	"ituaval/internal/sim"
+	"ituaval/internal/stats"
+)
+
+// CrossValidation (experiment X1) compares the SAN model against the
+// independent direct simulator on the baseline configuration under both
+// exclusion policies, returning a figure with one panel per measure, each
+// holding a "SAN" and a "direct" series indexed by policy (x = 1 for
+// domain exclusion, 2 for host exclusion).
+func CrossValidation(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const T = 6.0
+	fig := &Figure{ID: "X1", Title: "SAN model vs independent direct simulator"}
+	panels := []Panel{
+		{ID: "X1-unavail", Measure: "Unavailability [0,6]", XLabel: "policy (1=domain 2=host)"},
+		{ID: "X1-unrel", Measure: "Unreliability [0,6]", XLabel: "policy (1=domain 2=host)"},
+		{ID: "X1-excl", Measure: "Fraction domains excluded at 6", XLabel: "policy (1=domain 2=host)"},
+	}
+	sanS := [3]Series{{Name: "SAN"}, {Name: "SAN"}, {Name: "SAN"}}
+	dirS := [3]Series{{Name: "direct"}, {Name: "direct"}, {Name: "direct"}}
+	for i, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
+		p := core.DefaultParams()
+		p.NumDomains = 4
+		p.HostsPerDomain = 2
+		p.NumApps = 3
+		p.RepsPerApp = 4
+		p.Policy = policy
+		est, err := point(cfg, p, T, uint64(4000+i), func(m *core.Model) []reward.Var {
+			return []reward.Var{
+				m.Unavailability("unavail", 0, 0, T),
+				m.Unreliability("unrel", 0, T),
+				m.FracDomainsExcluded("excl", T),
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		x := float64(i + 1)
+		appendPoint(&sanS[0], x, est["unavail"])
+		appendPoint(&sanS[1], x, est["unrel"])
+		appendPoint(&sanS[2], x, est["excl"])
+
+		var unavail, unrel, excl stats.Accumulator
+		root := rng.New(cfg.Seed + uint64(4100+i))
+		for rep := 0; rep < cfg.Reps; rep++ {
+			res, err := ituadirect.Run(p, root.Derive(uint64(rep)), []float64{T})
+			if err != nil {
+				return nil, err
+			}
+			unavail.Add(res.UnavailTime[0] / T)
+			if res.ByzantineBy[0] {
+				unrel.Add(1)
+			} else {
+				unrel.Add(0)
+			}
+			excl.Add(res.FracDomainsExcluded[0])
+		}
+		for j, acc := range []*stats.Accumulator{&unavail, &unrel, &excl} {
+			dirS[j].X = append(dirS[j].X, x)
+			dirS[j].Y = append(dirS[j].Y, acc.Mean())
+			dirS[j].HW = append(dirS[j].HW, acc.HalfWidth(0.95))
+		}
+	}
+	for i := range panels {
+		panels[i].Series = []Series{sanS[i], dirS[i]}
+	}
+	fig.Panels = panels
+	return fig, nil
+}
+
+// NumericalValidation (experiment X2) checks the simulation engine against
+// the numerical CTMC solver on a reduced ITUA-like availability model
+// (failure/detection/recovery of a replicated service) that is small enough
+// for exact transient solution.
+func NumericalValidation(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const (
+		T       = 5.0
+		attack  = 0.6
+		detect  = 1.5
+		recover = 4.0
+		nRep    = 3
+	)
+	m := san.NewModel("reduced-itua")
+	good := m.Place("good", nRep)
+	bad := m.Place("bad", 0)
+	pending := m.Place("pending", 0)
+	m.AddActivity(san.ActivityDef{
+		Name: "attack", Kind: san.Timed,
+		Dist: func(s *san.State) rng.Dist {
+			return rng.Expo(attack * float64(s.Get(good)))
+		},
+		Enabled: func(s *san.State) bool { return s.Get(good) > 0 },
+		Reads:   []*san.Place{good},
+		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+			ctx.State.Add(good, -1)
+			ctx.State.Add(bad, 1)
+		}}},
+	})
+	m.AddActivity(san.ActivityDef{
+		Name: "detect", Kind: san.Timed,
+		Dist: func(s *san.State) rng.Dist {
+			return rng.Expo(detect * float64(s.Get(bad)))
+		},
+		Enabled: func(s *san.State) bool { return s.Get(bad) > 0 },
+		Reads:   []*san.Place{bad},
+		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+			ctx.State.Add(bad, -1)
+			ctx.State.Add(pending, 1)
+		}}},
+	})
+	m.AddActivity(san.ActivityDef{
+		Name: "restart", Kind: san.Timed,
+		Dist: func(s *san.State) rng.Dist {
+			return rng.Expo(recover * float64(s.Get(pending)))
+		},
+		Enabled: func(s *san.State) bool { return s.Get(pending) > 0 },
+		Reads:   []*san.Place{pending},
+		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+			ctx.State.Add(pending, -1)
+			ctx.State.Add(good, 1)
+		}}},
+	})
+	if err := m.Finalize(); err != nil {
+		return nil, err
+	}
+	improper := func(s *san.State) float64 {
+		if 3*s.Int(bad) >= s.Int(good)+s.Int(bad) {
+			return 1
+		}
+		return 0
+	}
+	chain, err := mc.Generate(m, mc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: "X2", Title: "Simulator vs numerical CTMC solution (reduced model)"}
+	simS := Series{Name: "simulation"}
+	numS := Series{Name: "uniformization"}
+	for _, t := range []float64{1, 2, 3, 4, 5} {
+		want, err := chain.IntervalAverageReward(t, improper)
+		if err != nil {
+			return nil, err
+		}
+		numS.X = append(numS.X, t)
+		numS.Y = append(numS.Y, want)
+		numS.HW = append(numS.HW, 0)
+
+		res, err := sim.Run(sim.Spec{
+			Model: m, Until: t, Reps: cfg.Reps, Seed: cfg.Seed + 4200, Workers: cfg.Workers,
+			Vars: []reward.Var{&reward.TimeAverage{VarName: "u", F: improper, From: 0, To: t}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		appendPoint(&simS, t, res.MustGet("u"))
+	}
+	fig.Panels = []Panel{{
+		ID: "X2", Measure: fmt.Sprintf("Time-averaged improper-service indicator (T up to %g)", T),
+		XLabel: "T", Series: []Series{simS, numS},
+	}}
+	return fig, nil
+}
+
+// AblationDetectionRate (experiment X3) sweeps the IDS pipeline rate to
+// show how the calibrated default (0.25/h) governs exclusion dynamics.
+func AblationDetectionRate(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const T = 5.0
+	fig := &Figure{ID: "X3", Title: "Sensitivity to the detection pipeline rate"}
+	unavail := Series{Name: "unavailability [0,5]"}
+	unrel := Series{Name: "unreliability [0,5]"}
+	excl := Series{Name: "domains excluded at 5"}
+	for i, rate := range []float64{0.1, 0.25, 0.5, 1, 2, 4} {
+		p := core.DefaultParams()
+		p.NumDomains = 12
+		p.HostsPerDomain = 1
+		p.NumApps = 4
+		p.RepsPerApp = 7
+		p.HostDetectRate = rate
+		p.ReplicaDetectRate = rate
+		p.MgrDetectRate = rate
+		est, err := point(cfg, p, T, uint64(4300+i), func(m *core.Model) []reward.Var {
+			return []reward.Var{
+				m.Unavailability("u", 0, 0, T),
+				m.Unreliability("r", 0, T),
+				m.FracDomainsExcluded("e", T),
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		appendPoint(&unavail, rate, est["u"])
+		appendPoint(&unrel, rate, est["r"])
+		appendPoint(&excl, rate, est["e"])
+	}
+	fig.Panels = []Panel{{ID: "X3", Measure: "Measures vs IDS rate (12×1 hosts, 4 apps)",
+		XLabel: "detection rate (1/h)", Series: []Series{unavail, unrel, excl}}}
+	return fig, nil
+}
+
+// AblationRateSplit (experiment X4) sweeps the share of the attack budget
+// aimed directly at replicas.
+func AblationRateSplit(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const T = 5.0
+	fig := &Figure{ID: "X4", Title: "Sensitivity to the attack-budget split"}
+	unavail := Series{Name: "unavailability [0,5]"}
+	unrel := Series{Name: "unreliability [0,5]"}
+	for i, wr := range []float64{0, 0.5, 1, 2, 4, 8} {
+		p := core.DefaultParams()
+		p.NumDomains = 12
+		p.HostsPerDomain = 1
+		p.NumApps = 4
+		p.RepsPerApp = 7
+		p.AttackSplitReplica = wr
+		est, err := point(cfg, p, T, uint64(4400+i), func(m *core.Model) []reward.Var {
+			return []reward.Var{
+				m.Unavailability("u", 0, 0, T),
+				m.Unreliability("r", 0, T),
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		appendPoint(&unavail, wr, est["u"])
+		appendPoint(&unrel, wr, est["r"])
+	}
+	fig.Panels = []Panel{{ID: "X4", Measure: "Measures vs replica attack weight (12×1 hosts)",
+		XLabel: "AttackSplitReplica", Series: []Series{unavail, unrel}}}
+	return fig, nil
+}
+
+// AblationConviction (experiment X5) compares the two readings of the
+// management response to replica convictions: restart-only (default) versus
+// domain/host exclusion on every conviction (the strict prose reading).
+func AblationConviction(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const T = 5.0
+	fig := &Figure{ID: "X5", Title: "Replica-conviction response: restart vs exclusion"}
+	panels := []Panel{
+		{ID: "X5-unavail", Measure: "Unavailability [0,5]", XLabel: "hosts/domain"},
+		{ID: "X5-excl", Measure: "Fraction domains excluded at 5", XLabel: "hosts/domain"},
+	}
+	for _, excludeOnConviction := range []bool{false, true} {
+		name := "restart replica (default)"
+		if excludeOnConviction {
+			name = "exclude on conviction"
+		}
+		su := Series{Name: name}
+		se := Series{Name: name}
+		for pi, hpd := range []int{1, 2, 3, 4, 6, 12} {
+			p := core.DefaultParams()
+			p.NumDomains = 12 / hpd
+			p.HostsPerDomain = hpd
+			p.NumApps = 4
+			p.RepsPerApp = 7
+			p.ExcludeOnReplicaConviction = excludeOnConviction
+			est, err := point(cfg, p, T, uint64(4500+pi), func(m *core.Model) []reward.Var {
+				return []reward.Var{
+					m.Unavailability("u", 0, 0, T),
+					m.FracDomainsExcluded("e", T),
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			appendPoint(&su, float64(hpd), est["u"])
+			appendPoint(&se, float64(hpd), est["e"])
+		}
+		panels[0].Series = append(panels[0].Series, su)
+		panels[1].Series = append(panels[1].Series, se)
+	}
+	fig.Panels = panels
+	return fig, nil
+}
+
+// MaxAbsGap returns the largest |Y1-Y0| between the first two series of the
+// panel (used by validation harnesses and tests).
+func MaxAbsGap(p Panel) float64 {
+	if len(p.Series) < 2 {
+		return math.NaN()
+	}
+	gap := 0.0
+	for i := range p.Series[0].Y {
+		if d := math.Abs(p.Series[0].Y[i] - p.Series[1].Y[i]); d > gap {
+			gap = d
+		}
+	}
+	return gap
+}
+
+// AblationPlacement (experiment X6) compares the recovery placement
+// strategies: the paper's uniform choice, deterministic least-loaded, and
+// inverse-load weighted random ("unpredictable adaptation" with load
+// balancing), on the study-3 topology.
+func AblationPlacement(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const T = 10.0
+	fig := &Figure{ID: "X6", Title: "Recovery placement strategies"}
+	panels := []Panel{
+		{ID: "X6-unavail", Measure: "Unavailability [0,10]", XLabel: "spread rate"},
+		{ID: "X6-load", Measure: "Load per live host at 10", XLabel: "spread rate"},
+	}
+	for _, placement := range []core.Placement{
+		core.UniformPlacement, core.LeastLoadedPlacement, core.WeightedRandomPlacement,
+	} {
+		su := Series{Name: placement.String()}
+		sl := Series{Name: placement.String()}
+		for pi, spread := range []float64{0, 5, 10} {
+			p := core.DefaultParams()
+			p.NumDomains = 10
+			p.HostsPerDomain = 3
+			p.NumApps = 4
+			p.RepsPerApp = 7
+			p.CorruptionMult = 5
+			p.DomainSpreadRate = spread
+			p.Placement = placement
+			est, err := point(cfg, p, T, uint64(4600+pi), func(m *core.Model) []reward.Var {
+				return []reward.Var{
+					m.Unavailability("u", 0, 0, T),
+					m.LoadPerHost("load", T),
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			appendPoint(&su, spread, est["u"])
+			appendPoint(&sl, spread, est["load"])
+		}
+		panels[0].Series = append(panels[0].Series, su)
+		panels[1].Series = append(panels[1].Series, sl)
+	}
+	fig.Panels = panels
+	return fig, nil
+}

@@ -1,0 +1,202 @@
+package study
+
+import (
+	"fmt"
+
+	"ituaval/internal/core"
+	"ituaval/internal/reward"
+)
+
+// Fig3HostsPerDomain are the sweep points of study 1: 12 hosts distributed
+// into 12, 6, 4, 3, 2, or 1 domains.
+var Fig3HostsPerDomain = []int{1, 2, 3, 4, 6, 12}
+
+// Fig3Apps are the application counts of study 1.
+var Fig3Apps = []int{2, 4, 6, 8}
+
+// Fig3 reproduces Figure 3 (Section 4.1): different distributions of 12
+// hosts into domains, 7 replicas per application, first 5 hours.
+func Fig3(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const T = 5.0
+	fig := &Figure{ID: "3", Title: "Variations in Measures for Different Distributions of 12 Hosts (first 5 h)"}
+	panels := []Panel{
+		{ID: "3a", Measure: "Unavailability for first 5 hours", XLabel: "hosts/domain"},
+		{ID: "3b", Measure: "Unreliability for first 5 hours", XLabel: "hosts/domain"},
+		{ID: "3c", Measure: "Fraction of corrupt hosts in an excluded domain", XLabel: "hosts/domain"},
+		{ID: "3d", Measure: "Fraction of domains excluded at 5 h", XLabel: "hosts/domain"},
+	}
+	for _, apps := range Fig3Apps {
+		series := make([]Series, len(panels))
+		for i := range series {
+			series[i].Name = fmt.Sprintf("%d applications", apps)
+		}
+		for pi, hpd := range Fig3HostsPerDomain {
+			p := core.DefaultParams()
+			p.NumDomains = 12 / hpd
+			p.HostsPerDomain = hpd
+			p.NumApps = apps
+			p.RepsPerApp = 7
+			// Per-entity rates are anchored at the 4-application baseline
+			// (12 hosts, 28 replicas), so the per-replica intrusion
+			// probability does not depend on the number of applications —
+			// the convention under which the paper observes that
+			// "unavailability ... does not change much with an increase in
+			// the number of applications".
+			p.RateBaseHosts = 12
+			p.RateBaseReplicas = 28
+			est, err := point(cfg, p, T, uint64(1000*apps+pi),
+				func(m *core.Model) []reward.Var {
+					return []reward.Var{
+						m.Unavailability("unavail", 0, 0, T),
+						m.Unreliability("unrel", 0, T),
+						m.FracCorruptHostsAtExclusion("corrfrac", T),
+						m.FracDomainsExcluded("exclfrac", T),
+					}
+				})
+			if err != nil {
+				return nil, fmt.Errorf("fig3 apps=%d hpd=%d: %w", apps, hpd, err)
+			}
+			x := float64(hpd)
+			appendPoint(&series[0], x, est["unavail"])
+			appendPoint(&series[1], x, est["unrel"])
+			appendPoint(&series[2], x, est["corrfrac"])
+			appendPoint(&series[3], x, est["exclfrac"])
+		}
+		for i := range panels {
+			panels[i].Series = append(panels[i].Series, series[i])
+		}
+	}
+	fig.Panels = panels
+	return fig, nil
+}
+
+// Fig4HostsPerDomain are the sweep points of study 2: 10 domains with 1-4
+// hosts each.
+var Fig4HostsPerDomain = []int{1, 2, 3, 4}
+
+// Fig4 reproduces Figure 4 (Section 4.2): 10 domains, growing hosts per
+// domain, 4 applications with 7 replicas each. The per-host intrusion
+// probability is held constant across the sweep (RateBaseHosts pins the
+// rate denominators to the 10-host baseline), as the paper states.
+func Fig4(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const T = 10.0
+	const steadyT = 120.0
+	fig := &Figure{ID: "4", Title: "Variations in Measures for Different Numbers of Hosts in 10 Domains"}
+	panels := []Panel{
+		{ID: "4a", Measure: "Unavailability", XLabel: "hosts/domain"},
+		{ID: "4b", Measure: "Unreliability", XLabel: "hosts/domain"},
+		{ID: "4c", Measure: "Fraction of corrupt hosts in an excluded domain (steady state)", XLabel: "hosts/domain"},
+		{ID: "4d", Measure: "Fraction of domains excluded", XLabel: "hosts/domain"},
+	}
+	s5 := Series{Name: "for interval [0,5]"}
+	s10 := Series{Name: "for interval [0,10]"}
+	r5 := Series{Name: "for interval [0,5]"}
+	r10 := Series{Name: "for interval [0,10]"}
+	ss := Series{Name: "steady state"}
+	e5 := Series{Name: "at time 5"}
+	e10 := Series{Name: "at time 10"}
+	for pi, hpd := range Fig4HostsPerDomain {
+		p := core.DefaultParams()
+		p.NumDomains = 10
+		p.HostsPerDomain = hpd
+		p.NumApps = 4
+		p.RepsPerApp = 7
+		p.RateBaseHosts = 10 // constant per-host rates across the sweep
+		est, err := point(cfg, p, T, uint64(2000+pi), func(m *core.Model) []reward.Var {
+			return []reward.Var{
+				m.Unavailability("u5", 0, 0, 5),
+				m.Unavailability("u10", 0, 0, 10),
+				m.Unreliability("r5", 0, 5),
+				m.Unreliability("r10", 0, 10),
+				m.FracDomainsExcluded("e5", 5),
+				m.FracDomainsExcluded("e10", 10),
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig4 hpd=%d: %w", hpd, err)
+		}
+		// Steady state: the model has no repair, so the long-horizon
+		// average over all exclusion events is the absorbed value.
+		longCfg := cfg
+		if longCfg.Reps > 500 {
+			longCfg.Reps = 500
+		}
+		estSS, err := point(longCfg, p, steadyT, uint64(2100+pi), func(m *core.Model) []reward.Var {
+			return []reward.Var{m.FracCorruptHostsAtExclusion("cf", steadyT)}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig4 steady hpd=%d: %w", hpd, err)
+		}
+		x := float64(hpd)
+		appendPoint(&s5, x, est["u5"])
+		appendPoint(&s10, x, est["u10"])
+		appendPoint(&r5, x, est["r5"])
+		appendPoint(&r10, x, est["r10"])
+		appendPoint(&ss, x, estSS["cf"])
+		appendPoint(&e5, x, est["e5"])
+		appendPoint(&e10, x, est["e10"])
+	}
+	panels[0].Series = []Series{s5, s10}
+	panels[1].Series = []Series{r5, r10}
+	panels[2].Series = []Series{ss}
+	panels[3].Series = []Series{e5, e10}
+	fig.Panels = panels
+	return fig, nil
+}
+
+// Fig5SpreadRates are the sweep points of study 3.
+var Fig5SpreadRates = []float64{0, 2, 4, 6, 8, 10}
+
+// Fig5 reproduces Figure 5 (Section 4.3): domain-exclusion versus
+// host-exclusion for varying intra-domain attack-spread rates; 10 domains
+// of 3 hosts, 4 applications with 7 replicas, corruption multiplier 5.
+func Fig5(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const T = 10.0
+	fig := &Figure{ID: "5", Title: "Unavailability and Unreliability for Different Exclusion Algorithms"}
+	panels := []Panel{
+		{ID: "5a", Measure: "Unavailability for the first 5 hours", XLabel: "spread rate"},
+		{ID: "5b", Measure: "Unavailability for the first 10 hours", XLabel: "spread rate"},
+		{ID: "5c", Measure: "Unreliability for the first 5 hours", XLabel: "spread rate"},
+		{ID: "5d", Measure: "Unreliability for the first 10 hours", XLabel: "spread rate"},
+	}
+	for si, policy := range []core.Policy{core.HostExclusion, core.DomainExclusion} {
+		name := map[core.Policy]string{
+			core.HostExclusion:   "Host exclusion",
+			core.DomainExclusion: "Domain exclusion",
+		}[policy]
+		series := [4]Series{{Name: name}, {Name: name}, {Name: name}, {Name: name}}
+		for pi, spread := range Fig5SpreadRates {
+			p := core.DefaultParams()
+			p.NumDomains = 10
+			p.HostsPerDomain = 3
+			p.NumApps = 4
+			p.RepsPerApp = 7
+			p.CorruptionMult = 5
+			p.DomainSpreadRate = spread
+			p.Policy = policy
+			est, err := point(cfg, p, T, uint64(3000+100*si+pi), func(m *core.Model) []reward.Var {
+				return []reward.Var{
+					m.Unavailability("u5", 0, 0, 5),
+					m.Unavailability("u10", 0, 0, 10),
+					m.Unreliability("r5", 0, 5),
+					m.Unreliability("r10", 0, 10),
+				}
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %v spread=%v: %w", policy, spread, err)
+			}
+			appendPoint(&series[0], spread, est["u5"])
+			appendPoint(&series[1], spread, est["u10"])
+			appendPoint(&series[2], spread, est["r5"])
+			appendPoint(&series[3], spread, est["r10"])
+		}
+		for i := range panels {
+			panels[i].Series = append(panels[i].Series, series[i])
+		}
+	}
+	fig.Panels = panels
+	return fig, nil
+}

@@ -1,0 +1,41 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one figure.
+type Runner func(Config) (*Figure, error)
+
+// Registry maps experiment ids (cmd/figures arguments) to runners.
+var Registry = map[string]Runner{
+	"fig3":          Fig3,
+	"fig4":          Fig4,
+	"fig5":          Fig5,
+	"xval":          CrossValidation,
+	"numval":        NumericalValidation,
+	"abl-detect":    AblationDetectionRate,
+	"abl-split":     AblationRateSplit,
+	"abl-convict":   AblationConviction,
+	"abl-placement": AblationPlacement,
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run looks up and executes the experiment with the given id.
+func Run(id string, cfg Config) (*Figure, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("study: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(cfg)
+}

@@ -1,0 +1,132 @@
+// Package study is the experiment harness: it sweeps model parameters,
+// runs replicated simulations for every sweep point, and assembles the
+// series behind each figure of the paper — the Möbius "Study/Experiment"
+// layer. The three paper studies (Sections 4.1–4.3) are pre-canned, along
+// with the cross-validation and ablation experiments listed in DESIGN.md.
+package study
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ituaval/internal/core"
+	"ituaval/internal/reward"
+	"ituaval/internal/sim"
+)
+
+// Config controls simulation effort for all studies.
+type Config struct {
+	// Reps is the number of replications per sweep point (default 2000).
+	Reps int
+	// Seed is the root seed (default 1).
+	Seed uint64
+	// Workers bounds parallelism (0 = all cores).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Reps <= 0 {
+		c.Reps = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Series is one curve of a figure panel.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	HW   []float64 // 95% confidence half-widths
+}
+
+// Panel is one sub-figure: a measure plotted over the sweep variable.
+type Panel struct {
+	ID      string // e.g. "3a"
+	Measure string // e.g. "Unavailability for first 5 hours"
+	XLabel  string
+	Series  []Series
+}
+
+// Figure groups the panels of one paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	Panels []Panel
+}
+
+// WriteText renders the figure as aligned text tables.
+func (f *Figure) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Figure %s: %s ==\n", f.ID, f.Title)
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "\n-- %s: %s --\n", p.ID, p.Measure)
+		fmt.Fprintf(&b, "%12s", p.XLabel)
+		for _, s := range p.Series {
+			fmt.Fprintf(&b, " %22s", s.Name)
+		}
+		b.WriteByte('\n')
+		if len(p.Series) == 0 {
+			continue
+		}
+		for i := range p.Series[0].X {
+			fmt.Fprintf(&b, "%12g", p.Series[0].X[i])
+			for _, s := range p.Series {
+				fmt.Fprintf(&b, "    %10.5f ±%7.5f", s.Y[i], s.HW[i])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the figure as CSV: figure,panel,series,x,y,hw.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("figure,panel,series,x,y,hw\n")
+	for _, p := range f.Panels {
+		for _, s := range p.Series {
+			for i := range s.X {
+				fmt.Fprintf(&b, "%s,%s,%q,%g,%g,%g\n", f.ID, p.ID, s.Name, s.X[i], s.Y[i], s.HW[i])
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// point runs one sweep point and returns the named estimates.
+func point(cfg Config, p core.Params, until float64, seedOffset uint64,
+	vars func(m *core.Model) []reward.Var) (map[string]sim.Estimate, error) {
+	m, err := core.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Spec{
+		Model:   m.SAN,
+		Until:   until,
+		Reps:    cfg.Reps,
+		Seed:    cfg.Seed + seedOffset,
+		Workers: cfg.Workers,
+		Vars:    vars(m),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]sim.Estimate, len(res.Estimates))
+	for _, e := range res.Estimates {
+		out[e.Name] = e
+	}
+	return out, nil
+}
+
+// appendPoint pushes an estimate onto a series.
+func appendPoint(s *Series, x float64, e sim.Estimate) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, e.Mean)
+	s.HW = append(s.HW, e.HalfWidth95)
+}

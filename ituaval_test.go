@@ -1,0 +1,91 @@
+package ituaval_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ituaval"
+)
+
+func TestFacadeBuildAndSimulate(t *testing.T) {
+	p := ituaval.DefaultParams()
+	p.NumDomains = 4
+	p.HostsPerDomain = 2
+	p.NumApps = 2
+	p.RepsPerApp = 3
+	m, err := ituaval.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ituaval.Simulate(ituaval.SimSpec{
+		Model: m.SAN, Until: 5, Reps: 100, Seed: 1,
+		Vars: []ituaval.Var{
+			m.Unavailability("u", 0, 0, 5),
+			m.Unreliability("r", 0, 5),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.MustGet("u")
+	if u.N != 100 || u.Mean < 0 || u.Mean > 1 {
+		t.Fatalf("unavailability estimate %+v", u)
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	if ituaval.DomainExclusion.String() != "domain-exclusion" ||
+		ituaval.HostExclusion.String() != "host-exclusion" {
+		t.Fatal("policy re-exports broken")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ituaval.Experiments()
+	want := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "xval": true, "numval": true}
+	found := 0
+	for _, id := range ids {
+		if want[id] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("experiment registry missing entries: %v", ids)
+	}
+	if _, err := ituaval.RunExperiment("no-such-experiment", ituaval.StudyConfig{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFacadeRunExperimentAndWrite(t *testing.T) {
+	fig, err := ituaval.RunExperiment("numval", ituaval.StudyConfig{Reps: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := ituaval.WriteFigureText(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure X2") {
+		t.Fatalf("unexpected output:\n%s", sb.String())
+	}
+}
+
+func TestFacadeDirectRun(t *testing.T) {
+	p := ituaval.DefaultParams()
+	p.NumDomains = 3
+	p.HostsPerDomain = 2
+	p.NumApps = 2
+	p.RepsPerApp = 3
+	res, err := ituaval.DirectRun(p, 7, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UnavailTime) != 2 || res.UnavailTime[0] > res.UnavailTime[1] {
+		t.Fatalf("unavailability times not cumulative: %v", res.UnavailTime)
+	}
+	if res.UnavailTime[1] > 10 || math.IsNaN(res.UnavailTime[1]) {
+		t.Fatalf("unavailability time out of range: %v", res.UnavailTime)
+	}
+}
