@@ -1,0 +1,26 @@
+# Tier-1 verification lanes. `make ci` is what a change must keep green:
+#   vet    static analysis of every package
+#   build  the library, the three binaries, and the examples
+#   test   the full suite (unit, property, cross-implementation, vs-analytic)
+#   race   the concurrency-heavy packages (parallel runner, checkpointing)
+#          under the race detector
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/study/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -5,19 +5,32 @@
 //
 // Usage:
 //
-//	figures [-reps N] [-seed S] [-csv dir] [experiment ...]
+//	figures [-reps N] [-seed S] [-csv dir] [-checkpoint file] [-resume] [experiment ...]
 //
 // With no experiment arguments every registered experiment runs. Text
 // tables go to stdout; -csv additionally writes one CSV file per
 // experiment into the given directory.
+//
+// Long sweeps are fault tolerant: with -checkpoint, every completed sweep
+// point is persisted atomically, Ctrl-C (SIGINT) or SIGTERM stops the run
+// gracefully, and a later invocation with -resume skips the completed
+// points and produces estimates bit-identical to an uninterrupted run
+// (replication seeds are derived per point and per replication from the
+// root seed). Replications that panic or hang past -rep-deadline are
+// recorded with their reproducing seed and the sweep continues, as long as
+// the per-point failure fraction stays under -max-failure-frac.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"ituaval/internal/study"
@@ -28,6 +41,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files")
+	ckptPath := flag.String("checkpoint", "", "file to persist completed sweep points (enables resumable runs)")
+	resume := flag.Bool("resume", false, "skip sweep points already in the checkpoint file (implies -checkpoint figures.ckpt.json if unset)")
+	repDeadline := flag.Duration("rep-deadline", 0, "wall-clock watchdog per replication (0 = none)")
+	maxFailFrac := flag.Float64("max-failure-frac", 0, "tolerated fraction of failed replications per point (0 = default 5%, negative = none)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: %s [flags] [experiment ...]\nexperiments: %s\nflags:\n",
@@ -36,42 +53,74 @@ func main() {
 	}
 	flag.Parse()
 
+	fatal := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	if *resume && *ckptPath == "" {
+		*ckptPath = "figures.ckpt.json"
+	}
+	var ck *study.Checkpoint
+	if *ckptPath != "" {
+		var err error
+		ck, err = study.OpenCheckpoint(*ckptPath, *resume)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = study.IDs()
 	}
-	cfg := study.Config{Reps: *reps, Seed: *seed, Workers: *workers}
+	cfg := study.Config{
+		Reps: *reps, Seed: *seed, Workers: *workers,
+		RepDeadline: *repDeadline, MaxFailureFrac: *maxFailFrac,
+		Checkpoint: ck,
+		Warnf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+		},
+	}
 	for _, id := range ids {
 		start := time.Now()
-		fig, err := study.Run(id, cfg)
+		fig, err := study.RunContext(ctx, id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
-			os.Exit(1)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "figures: interrupted during %s\n", id)
+				if ck != nil {
+					fmt.Fprintf(os.Stderr,
+						"figures: %d completed sweep point(s) checkpointed in %s; rerun with -resume -checkpoint %s to continue\n",
+						ck.Len(), *ckptPath, *ckptPath)
+				} else {
+					fmt.Fprintf(os.Stderr, "figures: no checkpoint was configured; rerun with -checkpoint to make sweeps resumable\n")
+				}
+				os.Exit(130)
+			}
+			fatal("%s: %v", id, err)
 		}
 		if err := fig.WriteText(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		fmt.Printf("\n[%s completed in %v with %d reps/point]\n\n", id, time.Since(start).Round(time.Millisecond), *reps)
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
+				fatal("%v", err)
 			}
 			path := filepath.Join(*csvDir, id+".csv")
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
+				fatal("%v", err)
 			}
 			if err := fig.WriteCSV(f); err != nil {
 				f.Close()
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
+				fatal("%v", err)
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
-				os.Exit(1)
+				fatal("%v", err)
 			}
 			fmt.Printf("[wrote %s]\n", path)
 		}

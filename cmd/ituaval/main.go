@@ -3,6 +3,13 @@
 // simulates it with the requested number of replications, and prints every
 // intrusion-tolerance measure of the paper with 95% confidence intervals.
 //
+// Execution is fault tolerant: Ctrl-C (SIGINT) or SIGTERM stops the study
+// gracefully and prints the estimates from the replications that already
+// completed, marked PARTIAL. A replication that panics, hangs past
+// -rep-deadline, or exhausts its firing budget is recorded (with the seed
+// that reproduces it) and the rest of the study continues; use -replay to
+// re-execute one recorded replication under a debugger.
+//
 // Example:
 //
 //	ituaval -domains 10 -hosts 3 -apps 4 -reps 7 -policy domain \
@@ -10,9 +17,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"ituaval/internal/core"
 	"ituaval/internal/reward"
@@ -36,6 +47,10 @@ func main() {
 		mult       = flag.Float64("mult", 2, "corruption multiplier for replicas/managers on corrupt hosts")
 		convict    = flag.Bool("exclude-on-conviction", false, "exclude the domain/host on every replica conviction")
 		validate   = flag.Bool("validate", false, "run the engine in dependency-validation mode (slow)")
+
+		repDeadline = flag.Duration("rep-deadline", 0, "wall-clock watchdog per replication (0 = none)")
+		maxFailFrac = flag.Float64("max-failure-frac", 0, "tolerated fraction of failed replications (0 = default 5%, negative = none)")
+		replay      = flag.Int("replay", -1, "re-execute only the given replication index and report its outcome")
 	)
 	flag.Parse()
 
@@ -75,20 +90,66 @@ func main() {
 		m.FracCorruptHostsAtExclusion("fraction of corrupt hosts in an excluded domain", T),
 		m.DomainExclusions("exclusion events in [0,T]", T),
 	}
-	res, err := sim.Run(sim.Spec{
+	spec := sim.Spec{
 		Model: m.SAN, Until: T, Reps: *sims, Seed: *seed,
 		Vars: vars, Validate: *validate,
-	})
-	if err != nil {
+		RepDeadline: *repDeadline, MaxFailureFrac: *maxFailFrac,
+	}
+
+	if *replay >= 0 {
+		// Reproduce a single replication from its logged index + root seed.
+		if ferr := sim.Replay(spec, *replay); ferr != nil {
+			fmt.Printf("replication %d (seed %d): %s failure\n%v\n", ferr.Rep, ferr.Seed, ferr.Kind, ferr)
+			if ferr.Stack != "" {
+				fmt.Printf("\n%s\n", ferr.Stack)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("replication %d (seed %d): completed cleanly\n", *replay, *seed)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := sim.RunContext(ctx, spec)
+	interrupted := err != nil && errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		if res != nil && res.Completed > 0 {
+			// Over-threshold failures: report the error but still print the
+			// surviving estimates below.
+			fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if res == nil {
 		fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("%s\n", m.SAN.Summary())
-	fmt.Printf("policy=%s horizon=%gh replications=%d firings=%d\n\n",
-		p.Policy, T, *sims, res.TotalFirings)
+	fmt.Printf("policy=%s horizon=%gh replications=%d completed=%d failed=%d skipped=%d firings=%d\n",
+		p.Policy, T, res.Reps, res.Completed, res.Failed, res.Skipped, res.TotalFirings)
+	if interrupted {
+		fmt.Printf("\n*** PARTIAL results: interrupted after %d of %d replications ***\n",
+			res.Completed, res.Reps)
+	}
+	fmt.Println()
 	for _, v := range vars {
 		e := res.MustGet(v.Name())
 		fmt.Printf("  %-50s %10.5f ± %.5f  (n=%d)\n", e.Name, e.Mean, e.HalfWidth95, e.N)
+	}
+	if res.Failed > 0 {
+		fmt.Printf("\n%d replication(s) failed; estimates aggregate the %d survivors (selection bias possible):\n",
+			res.Failed, res.Completed)
+		for _, f := range res.Failures {
+			fmt.Printf("  rep %-6d %-13s %v\n", f.Rep, f.Kind, &f)
+		}
+		fmt.Printf("reproduce one with: ituaval [same flags] -replay <rep>\n")
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }

@@ -4,17 +4,47 @@
 //
 // Usage:
 //
-//	sandot [-domains D] [-hosts H] [-apps A] [-reps R] [-policy domain|host] > itua.dot
+//	sandot [-domains D] [-hosts H] [-apps A] [-reps R] [-policy domain|host] [-o itua.dot]
+//
+// Without -o the graph goes to stdout. With -o the file is written
+// atomically (temp file + rename), so an interrupted run never leaves a
+// truncated graph behind.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"ituaval/internal/core"
 	"ituaval/internal/san"
 )
+
+// writeAtomic writes via a temp file in the destination directory and
+// renames it into place, so out is either absent/old or complete.
+func writeAtomic(out string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(out), ".sandot-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, out); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -23,6 +53,7 @@ func main() {
 		apps    = flag.Int("apps", 1, "number of replicated applications")
 		reps    = flag.Int("reps", 3, "replicas per application")
 		policy  = flag.String("policy", "domain", `management algorithm: "domain" or "host"`)
+		out     = flag.String("o", "", "output file, written atomically (default: stdout)")
 	)
 	flag.Parse()
 
@@ -40,8 +71,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "%s\n", m.SAN.Summary())
-	if err := san.WriteDOT(os.Stdout, m.SAN); err != nil {
+	write := func(w io.Writer) error { return san.WriteDOT(w, m.SAN) }
+	if *out != "" {
+		err = writeAtomic(*out, write)
+	} else {
+		err = write(os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sandot: %v\n", err)
 		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
 }

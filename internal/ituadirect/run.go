@@ -1,6 +1,7 @@
 package ituadirect
 
 import (
+	"context"
 	"math"
 
 	"ituaval/internal/core"
@@ -319,8 +320,9 @@ func (s *process) recover(a int) {
 	panic("ituadirect: no free slot during recovery")
 }
 
-// run executes the SSA loop up to the last horizon.
-func (s *process) run(horizons []float64) (Result, error) {
+// run executes the SSA loop up to the last horizon. It polls ctx every 256
+// events so cancellation cannot be starved by a high-rate configuration.
+func (s *process) run(ctx context.Context, horizons []float64) (Result, error) {
 	last := horizons[len(horizons)-1]
 	res := Result{
 		UnavailTime:         make([]float64, len(horizons)),
@@ -330,6 +332,7 @@ func (s *process) run(horizons []float64) (Result, error) {
 	now := 0.0
 	cum := 0.0 // improper-service time of app 0 accumulated so far
 	next := 0  // next horizon index to close out
+	events := 0
 	var buf []transition
 
 	// record advances time to upto with the state (hence the improper
@@ -354,6 +357,11 @@ func (s *process) run(horizons []float64) (Result, error) {
 	}
 
 	for {
+		if events++; events&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		buf = s.collect(buf)
 		total := 0.0
 		for _, tr := range buf {

@@ -12,7 +12,9 @@
 package ituadirect
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"ituaval/internal/core"
 	"ituaval/internal/rng"
@@ -81,6 +83,20 @@ type Result struct {
 // Run simulates one replication up to the largest horizon, recording the
 // measures at each horizon. Horizons must be ascending and non-empty.
 func Run(p core.Params, seed *rng.Stream, horizons []float64) (Result, error) {
+	return RunContext(context.Background(), p, seed, horizons)
+}
+
+// RunContext is Run with cooperative cancellation and panic isolation: the
+// SSA event loop polls ctx every few hundred events, so cancelling ctx (or
+// attaching a deadline to it) aborts a runaway replication with ctx.Err()
+// instead of hanging the sweep, and a panic inside the process is returned
+// as an error carrying the stack.
+func RunContext(ctx context.Context, p core.Params, seed *rng.Stream, horizons []float64) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = Result{}, fmt.Errorf("ituadirect: panic: %v\n%s", r, debug.Stack())
+		}
+	}()
 	if err := p.Validate(); err != nil {
 		return Result{}, fmt.Errorf("ituadirect: %w", err)
 	}
@@ -88,7 +104,7 @@ func Run(p core.Params, seed *rng.Stream, horizons []float64) (Result, error) {
 		return Result{}, fmt.Errorf("ituadirect: no horizons")
 	}
 	s := newSim(p, seed)
-	return s.run(horizons)
+	return s.run(ctx, horizons)
 }
 
 func newSim(p core.Params, rs *rng.Stream) *process {

@@ -1,6 +1,7 @@
 package ituadirect
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestStateConsistencyAfterRun(t *testing.T) {
 			p.Policy = core.HostExclusion
 		}
 		s := newSim(p, root.Derive(uint64(i)))
-		if _, err := s.run([]float64{8}); err != nil {
+		if _, err := s.run(context.Background(), []float64{8}); err != nil {
 			t.Fatal(err)
 		}
 		for a := range s.onHost {

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"ituaval/internal/reward"
@@ -226,8 +227,25 @@ func (m multiObserver) Done(s *san.State, t float64) {
 // reporting the trajectory to observers. maxFirings guards against runaway
 // models (0 means a generous default).
 func (e *Engine) RunOnce(until float64, stream *rng.Stream, obs []reward.Observer, maxFirings int64) error {
+	return e.RunOnceCtx(context.Background(), until, stream, obs, maxFirings)
+}
+
+// ctxCheckMask gates how often the hot loops poll ctx.Err(): every 256
+// firings, keeping the watchdog responsive (a runaway instantaneous loop
+// spins millions of firings per second) without measurable overhead.
+const ctxCheckMask = 255
+
+// RunOnceCtx is RunOnce with cooperative cancellation: the engine polls ctx
+// every few hundred firings — including inside the instantaneous-activity
+// resolution loop, so a zero-delay loop cannot wedge the replication — and
+// returns ctx.Err() when the context is cancelled or its deadline passes.
+// Exceeding maxFirings returns a *BudgetError.
+func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.Stream, obs []reward.Observer, maxFirings int64) error {
 	if maxFirings <= 0 {
 		maxFirings = 50_000_000
+	}
+	if err := runCtx.Err(); err != nil {
+		return err
 	}
 	e.rand = stream
 	e.now = 0
@@ -308,14 +326,24 @@ func (e *Engine) RunOnce(until float64, stream *rng.Stream, obs []reward.Observe
 			e.firings++
 			watch.Fired(e.state, a, ci, e.now)
 			if e.firings > maxFirings {
-				return fmt.Errorf("sim: exceeded %d firings at t=%v (unstable model?)", maxFirings, e.now)
+				return &BudgetError{Limit: maxFirings, At: e.now}
+			}
+			if e.firings&ctxCheckMask == 0 {
+				if err := runCtx.Err(); err != nil {
+					return err
+				}
 			}
 		}
 
 		e.processDirty(ev.act)
 
 		if e.firings > maxFirings {
-			return fmt.Errorf("sim: exceeded %d firings at t=%v", maxFirings, e.now)
+			return &BudgetError{Limit: maxFirings, At: e.now}
+		}
+		if e.firings&ctxCheckMask == 0 {
+			if err := runCtx.Err(); err != nil {
+				return err
+			}
 		}
 	}
 

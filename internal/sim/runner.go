@@ -1,17 +1,24 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"ituaval/internal/reward"
 	"ituaval/internal/rng"
 	"ituaval/internal/san"
 	"ituaval/internal/stats"
 )
+
+// DefaultMaxFailureFrac is the fraction of replications allowed to fail
+// before Run reports an aggregate error, when Spec.MaxFailureFrac is zero.
+const DefaultMaxFailureFrac = 0.05
 
 // Spec describes a replicated terminating simulation study.
 type Spec struct {
@@ -30,12 +37,25 @@ type Spec struct {
 	Workers int
 	// Validate enables read-trace dependency checking (slow; for tests).
 	Validate bool
-	// MaxFirings bounds the firings per replication (0 = default).
+	// MaxFirings bounds the firings per replication (0 = default). A
+	// replication exceeding the budget is recorded as a FailureBudget
+	// failure; the rest of the study continues.
 	MaxFirings int64
 	// Quantiles, when non-empty, requests the given sample quantiles (in
 	// [0,1]) of every variable's per-replication observations, at the cost
 	// of retaining all observations in memory.
 	Quantiles []float64
+	// RepDeadline, when positive, bounds the wall-clock time of each
+	// replication: a replication exceeding it is aborted and recorded as a
+	// FailureDeadline failure instead of hanging the study (watchdog).
+	RepDeadline time.Duration
+	// MaxFailureFrac is the largest fraction of replications allowed to
+	// fail (panic, watchdog deadline, firing budget, model error) before
+	// RunContext reports an aggregate error alongside the partial results.
+	// Zero selects DefaultMaxFailureFrac; a negative value tolerates no
+	// failures at all. Estimates always aggregate the surviving
+	// replications only — see Results for the bias caveat.
+	MaxFailureFrac float64
 }
 
 // Estimate is the aggregated result for one reward variable.
@@ -59,15 +79,40 @@ func (e Estimate) String() string {
 }
 
 // Results holds the study outcome.
+//
+// Estimates aggregate the completed replications only. When Failed > 0 the
+// survivors are not a random subsample: failures can correlate with extreme
+// trajectories (for example, the most congested runs are the ones that trip
+// a firing budget), so the estimates carry a selection bias whose size
+// grows with the failure fraction. Keep the fraction small (see
+// Spec.MaxFailureFrac) and investigate every entry of Failures — each one
+// reproduces deterministically via Replay.
 type Results struct {
-	// Estimates, in the order of Spec.Vars.
+	// Estimates, in the order of Spec.Vars, aggregated over the Completed
+	// replications.
 	Estimates []Estimate
-	// TotalFirings across all replications.
+	// TotalFirings across all completed replications.
 	TotalFirings int64
-	// Reps actually run.
-	Reps   int
-	byName map[string]*Estimate
+	// Reps is the number of replications requested (Spec.Reps). Compare
+	// Completed, Failed, and Skipped for what actually ran.
+	Reps int
+	// Completed replications finished and contributed observations.
+	Completed int
+	// Failed replications were attempted but aborted (panic, deadline,
+	// firing budget, or model error); details in Failures.
+	Failed int
+	// Skipped replications were never attempted, or were cut short, because
+	// the context was cancelled. Reps == Completed + Failed + Skipped.
+	Skipped int
+	// Failures records every failed replication, ordered by Rep. Each entry
+	// names the replication index and root seed that reproduce it.
+	Failures []ReplicationError
+	byName   map[string]*Estimate
 }
+
+// Attempted returns the number of replications actually attempted
+// (completed or failed) — the denominator honest accounting should use.
+func (r *Results) Attempted() int { return r.Completed + r.Failed }
 
 // Get returns the estimate for the named variable.
 func (r *Results) Get(name string) (Estimate, bool) {
@@ -92,6 +137,59 @@ func (r *Results) MustGet(name string) Estimate {
 // over workers, aggregating every reward variable. Replication i always
 // uses stream Derive(Seed)(i) regardless of the worker that runs it.
 func Run(spec Spec) (*Results, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// runReplication executes one replication on eng, isolating panics from
+// model callbacks and observers. Observations are harvested into fresh
+// slices and committed by the caller only on success, so a failed
+// replication contributes nothing. The returned ReplicationError is nil on
+// success; cancellation of ctx surfaces as a FailureModel error wrapping
+// context.Canceled, which the caller accounts as skipped work.
+func runReplication(ctx context.Context, eng *Engine, spec *Spec, stream *rng.Stream, rep int) (vals [][]float64, firings int64, ferr *ReplicationError) {
+	defer func() {
+		if r := recover(); r != nil {
+			vals, firings = nil, 0
+			ferr = &ReplicationError{
+				Rep: rep, Seed: spec.Seed, Kind: FailurePanic,
+				PanicValue: r, Stack: string(debug.Stack()),
+			}
+		}
+	}()
+	repCtx := ctx
+	if spec.RepDeadline > 0 {
+		var cancel context.CancelFunc
+		repCtx, cancel = context.WithTimeout(ctx, spec.RepDeadline)
+		defer cancel()
+	}
+	obs := make([]reward.Observer, len(spec.Vars))
+	for i, v := range spec.Vars {
+		obs[i] = v.NewObserver()
+	}
+	if err := eng.RunOnceCtx(repCtx, spec.Until, stream, obs, spec.MaxFirings); err != nil {
+		return nil, 0, classifyFailure(spec.Seed, rep, err)
+	}
+	vals = make([][]float64, len(spec.Vars))
+	for i := range obs {
+		obs[i].Results(func(x float64) { vals[i] = append(vals[i], x) })
+	}
+	return vals, eng.Firings(), nil
+}
+
+// RunContext is Run with fault-tolerant execution semantics:
+//
+//   - Cancelling ctx stops the study gracefully: everything that already
+//     completed is merged and returned alongside ctx.Err(), with the
+//     never-attempted replications counted in Results.Skipped.
+//   - A replication that panics, trips the Spec.RepDeadline watchdog,
+//     exhausts its firing budget, or returns a model error is recorded as a
+//     ReplicationError (with its reproducing seed) and the study continues.
+//   - If the failed fraction exceeds Spec.MaxFailureFrac, the partial
+//     results are returned together with an aggregate error.
+//
+// The returned *Results is non-nil whenever the spec itself is valid, even
+// when err != nil, so callers can always salvage completed work.
+func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 	if spec.Model == nil || !spec.Model.Finalized() {
 		return nil, errors.New("sim: Spec.Model must be a finalized model")
 	}
@@ -111,10 +209,12 @@ func Run(spec Spec) (*Results, error) {
 
 	root := rng.New(spec.Seed)
 	type workerResult struct {
-		accums  []*stats.Accumulator
-		samples [][]float64
-		firings int64
-		err     error
+		accums    []*stats.Accumulator
+		samples   [][]float64
+		firings   int64
+		completed int
+		skipped   int
+		failures  []ReplicationError
 	}
 	results := make([]workerResult, workers)
 	var wg sync.WaitGroup
@@ -131,25 +231,33 @@ func Run(spec Spec) (*Results, error) {
 				res.samples = make([][]float64, len(spec.Vars))
 			}
 			eng := NewEngine(spec.Model, spec.Validate)
-			obs := make([]reward.Observer, len(spec.Vars))
 			for rep := w; rep < spec.Reps; rep += workers {
-				for i, v := range spec.Vars {
-					obs[i] = v.NewObserver()
-				}
-				stream := root.Derive(uint64(rep))
-				if err := eng.RunOnce(spec.Until, stream, obs, spec.MaxFirings); err != nil {
-					res.err = fmt.Errorf("replication %d: %w", rep, err)
+				if ctx.Err() != nil {
+					// Count this and every remaining strided replication
+					// as skipped so Results never overstates what ran.
+					res.skipped += (spec.Reps - rep + workers - 1) / workers
 					return
 				}
-				res.firings += eng.Firings()
-				for i := range obs {
-					acc := res.accums[i]
-					obs[i].Results(func(x float64) {
-						acc.Add(x)
-						if res.samples != nil {
-							res.samples[i] = append(res.samples[i], x)
-						}
-					})
+				vals, firings, ferr := runReplication(ctx, eng, &spec, root.Derive(uint64(rep)), rep)
+				if ferr != nil {
+					if errors.Is(ferr.Err, context.Canceled) {
+						// The study context was cancelled mid-replication:
+						// incomplete work, not a failure.
+						res.skipped++
+						continue
+					}
+					res.failures = append(res.failures, *ferr)
+					continue
+				}
+				res.completed++
+				res.firings += firings
+				for i, xs := range vals {
+					for _, x := range xs {
+						res.accums[i].Add(x)
+					}
+					if res.samples != nil {
+						res.samples[i] = append(res.samples[i], xs...)
+					}
 				}
 			}
 		}(w)
@@ -166,10 +274,10 @@ func Run(spec Spec) (*Results, error) {
 		pooled = make([][]float64, len(spec.Vars))
 	}
 	for w := range results {
-		if results[w].err != nil {
-			return nil, results[w].err
-		}
 		out.TotalFirings += results[w].firings
+		out.Completed += results[w].completed
+		out.Skipped += results[w].skipped
+		out.Failures = append(out.Failures, results[w].failures...)
 		for i := range merged {
 			merged[i].Merge(results[w].accums[i])
 			if pooled != nil && results[w].samples != nil {
@@ -177,6 +285,8 @@ func Run(spec Spec) (*Results, error) {
 			}
 		}
 	}
+	out.Failed = len(out.Failures)
+	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Rep < out.Failures[j].Rep })
 	for i, v := range spec.Vars {
 		a := merged[i]
 		est := Estimate{Name: v.Name(), N: a.N()}
@@ -196,6 +306,22 @@ func Run(spec Spec) (*Results, error) {
 	}
 	for i := range out.Estimates {
 		out.byName[out.Estimates[i].Name] = &out.Estimates[i]
+	}
+
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if out.Failed > 0 {
+		maxFrac := spec.MaxFailureFrac
+		if maxFrac == 0 {
+			maxFrac = DefaultMaxFailureFrac
+		} else if maxFrac < 0 {
+			maxFrac = 0
+		}
+		if frac := float64(out.Failed) / float64(spec.Reps); frac > maxFrac {
+			return out, fmt.Errorf("sim: %d of %d replications failed (%.1f%% > %.1f%% tolerated), first: %w",
+				out.Failed, spec.Reps, 100*frac, 100*maxFrac, &out.Failures[0])
+		}
 	}
 	return out, nil
 }

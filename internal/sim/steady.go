@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"ituaval/internal/reward"
 	"ituaval/internal/rng"
@@ -92,6 +94,22 @@ func (o *batchObserver) Advance(s *san.State, t0, t1 float64) {
 
 // RunSteady estimates the steady-state expectation of spec.F.
 func RunSteady(spec SteadySpec) (SteadyEstimate, error) {
+	return RunSteadyContext(context.Background(), spec)
+}
+
+// RunSteadyContext is RunSteady with cooperative cancellation and panic
+// isolation: cancelling ctx aborts the trajectory with ctx.Err(), and a
+// panicking model callback is returned as a *ReplicationError (Kind
+// FailurePanic) carrying the seed and stack instead of crashing the caller.
+func RunSteadyContext(ctx context.Context, spec SteadySpec) (est SteadyEstimate, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			est, err = SteadyEstimate{}, &ReplicationError{
+				Rep: 0, Seed: spec.Seed, Kind: FailurePanic,
+				PanicValue: r, Stack: string(debug.Stack()),
+			}
+		}
+	}()
 	if spec.Model == nil || !spec.Model.Finalized() {
 		return SteadyEstimate{}, errors.New("sim: SteadySpec.Model must be a finalized model")
 	}
@@ -113,7 +131,7 @@ func RunSteady(spec SteadySpec) (SteadyEstimate, error) {
 	obs := &batchObserver{f: spec.F, warmup: spec.Warmup, length: spec.BatchLength, max: spec.Batches}
 	until := spec.Warmup + float64(spec.Batches)*spec.BatchLength
 	eng := NewEngine(spec.Model, false)
-	if err := eng.RunOnce(until, rng.New(spec.Seed), []reward.Observer{obs}, spec.MaxFirings); err != nil {
+	if err := eng.RunOnceCtx(ctx, until, rng.New(spec.Seed), []reward.Observer{obs}, spec.MaxFirings); err != nil {
 		return SteadyEstimate{}, err
 	}
 	for len(obs.batches) < spec.Batches {

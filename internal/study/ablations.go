@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,7 @@ import (
 // exclusion policies, returning a figure with one panel per measure, each
 // holding a "SAN" and a "direct" series indexed by policy (x = 1 for
 // domain exclusion, 2 for host exclusion).
-func CrossValidation(cfg Config) (*Figure, error) {
+func CrossValidation(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	const T = 6.0
 	fig := &Figure{ID: "X1", Title: "SAN model vs independent direct simulator"}
@@ -37,7 +38,7 @@ func CrossValidation(cfg Config) (*Figure, error) {
 		p.NumApps = 3
 		p.RepsPerApp = 4
 		p.Policy = policy
-		est, err := point(cfg, p, T, uint64(4000+i), func(m *core.Model) []reward.Var {
+		est, err := point(ctx, cfg, p, T, uint64(4000+i), func(m *core.Model) []reward.Var {
 			return []reward.Var{
 				m.Unavailability("unavail", 0, 0, T),
 				m.Unreliability("unrel", 0, T),
@@ -55,7 +56,7 @@ func CrossValidation(cfg Config) (*Figure, error) {
 		var unavail, unrel, excl stats.Accumulator
 		root := rng.New(cfg.Seed + uint64(4100+i))
 		for rep := 0; rep < cfg.Reps; rep++ {
-			res, err := ituadirect.Run(p, root.Derive(uint64(rep)), []float64{T})
+			res, err := ituadirect.RunContext(ctx, p, root.Derive(uint64(rep)), []float64{T})
 			if err != nil {
 				return nil, err
 			}
@@ -84,7 +85,7 @@ func CrossValidation(cfg Config) (*Figure, error) {
 // the numerical CTMC solver on a reduced ITUA-like availability model
 // (failure/detection/recovery of a replicated service) that is small enough
 // for exact transient solution.
-func NumericalValidation(cfg Config) (*Figure, error) {
+func NumericalValidation(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	const (
 		T       = 5.0
@@ -158,9 +159,10 @@ func NumericalValidation(cfg Config) (*Figure, error) {
 		numS.Y = append(numS.Y, want)
 		numS.HW = append(numS.HW, 0)
 
-		res, err := sim.Run(sim.Spec{
+		res, err := sim.RunContext(ctx, sim.Spec{
 			Model: m, Until: t, Reps: cfg.Reps, Seed: cfg.Seed + 4200, Workers: cfg.Workers,
-			Vars: []reward.Var{&reward.TimeAverage{VarName: "u", F: improper, From: 0, To: t}},
+			Vars:        []reward.Var{&reward.TimeAverage{VarName: "u", F: improper, From: 0, To: t}},
+			RepDeadline: cfg.RepDeadline, MaxFailureFrac: cfg.MaxFailureFrac,
 		})
 		if err != nil {
 			return nil, err
@@ -176,7 +178,7 @@ func NumericalValidation(cfg Config) (*Figure, error) {
 
 // AblationDetectionRate (experiment X3) sweeps the IDS pipeline rate to
 // show how the calibrated default (0.25/h) governs exclusion dynamics.
-func AblationDetectionRate(cfg Config) (*Figure, error) {
+func AblationDetectionRate(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	const T = 5.0
 	fig := &Figure{ID: "X3", Title: "Sensitivity to the detection pipeline rate"}
@@ -192,7 +194,7 @@ func AblationDetectionRate(cfg Config) (*Figure, error) {
 		p.HostDetectRate = rate
 		p.ReplicaDetectRate = rate
 		p.MgrDetectRate = rate
-		est, err := point(cfg, p, T, uint64(4300+i), func(m *core.Model) []reward.Var {
+		est, err := point(ctx, cfg, p, T, uint64(4300+i), func(m *core.Model) []reward.Var {
 			return []reward.Var{
 				m.Unavailability("u", 0, 0, T),
 				m.Unreliability("r", 0, T),
@@ -213,7 +215,7 @@ func AblationDetectionRate(cfg Config) (*Figure, error) {
 
 // AblationRateSplit (experiment X4) sweeps the share of the attack budget
 // aimed directly at replicas.
-func AblationRateSplit(cfg Config) (*Figure, error) {
+func AblationRateSplit(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	const T = 5.0
 	fig := &Figure{ID: "X4", Title: "Sensitivity to the attack-budget split"}
@@ -226,7 +228,7 @@ func AblationRateSplit(cfg Config) (*Figure, error) {
 		p.NumApps = 4
 		p.RepsPerApp = 7
 		p.AttackSplitReplica = wr
-		est, err := point(cfg, p, T, uint64(4400+i), func(m *core.Model) []reward.Var {
+		est, err := point(ctx, cfg, p, T, uint64(4400+i), func(m *core.Model) []reward.Var {
 			return []reward.Var{
 				m.Unavailability("u", 0, 0, T),
 				m.Unreliability("r", 0, T),
@@ -246,7 +248,7 @@ func AblationRateSplit(cfg Config) (*Figure, error) {
 // AblationConviction (experiment X5) compares the two readings of the
 // management response to replica convictions: restart-only (default) versus
 // domain/host exclusion on every conviction (the strict prose reading).
-func AblationConviction(cfg Config) (*Figure, error) {
+func AblationConviction(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	const T = 5.0
 	fig := &Figure{ID: "X5", Title: "Replica-conviction response: restart vs exclusion"}
@@ -268,7 +270,7 @@ func AblationConviction(cfg Config) (*Figure, error) {
 			p.NumApps = 4
 			p.RepsPerApp = 7
 			p.ExcludeOnReplicaConviction = excludeOnConviction
-			est, err := point(cfg, p, T, uint64(4500+pi), func(m *core.Model) []reward.Var {
+			est, err := point(ctx, cfg, p, T, uint64(4500+pi), func(m *core.Model) []reward.Var {
 				return []reward.Var{
 					m.Unavailability("u", 0, 0, T),
 					m.FracDomainsExcluded("e", T),
@@ -306,7 +308,7 @@ func MaxAbsGap(p Panel) float64 {
 // strategies: the paper's uniform choice, deterministic least-loaded, and
 // inverse-load weighted random ("unpredictable adaptation" with load
 // balancing), on the study-3 topology.
-func AblationPlacement(cfg Config) (*Figure, error) {
+func AblationPlacement(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	const T = 10.0
 	fig := &Figure{ID: "X6", Title: "Recovery placement strategies"}
@@ -328,7 +330,7 @@ func AblationPlacement(cfg Config) (*Figure, error) {
 			p.CorruptionMult = 5
 			p.DomainSpreadRate = spread
 			p.Placement = placement
-			est, err := point(cfg, p, T, uint64(4600+pi), func(m *core.Model) []reward.Var {
+			est, err := point(ctx, cfg, p, T, uint64(4600+pi), func(m *core.Model) []reward.Var {
 				return []reward.Var{
 					m.Unavailability("u", 0, 0, T),
 					m.LoadPerHost("load", T),

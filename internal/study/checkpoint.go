@@ -1,0 +1,147 @@
+package study
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ituaval/internal/core"
+	"ituaval/internal/sim"
+)
+
+// checkpointVersion is bumped whenever the on-disk format or the point-key
+// derivation changes incompatibly; mismatched files are rejected rather
+// than silently producing wrong resumes.
+const checkpointVersion = 1
+
+// Checkpoint persists completed sweep points so an interrupted study can
+// resume without recomputation. After every sweep point the whole
+// checkpoint is rewritten atomically (temp file + rename), so a kill at any
+// moment leaves either the previous or the new consistent file, never a
+// torn one.
+//
+// Resume is exact, not approximate: a point's key fingerprints the full
+// simulation spec (model parameters, horizon, replication count, and the
+// effective root seed), and replication seeds are derived per-replication
+// from the root seed, so a resumed study is bit-identical to an
+// uninterrupted one.
+type Checkpoint struct {
+	mu     sync.Mutex
+	path   string
+	points map[string]map[string]sim.Estimate
+	onSave func() // test hook, called after each successful save
+}
+
+// checkpointFile is the JSON schema of the on-disk checkpoint.
+type checkpointFile struct {
+	Version int                                `json:"version"`
+	Points  map[string]map[string]sim.Estimate `json:"points"`
+}
+
+// OpenCheckpoint opens a checkpoint backed by path. With resume true, an
+// existing file is loaded and its completed points are skipped on the next
+// run; a missing file is not an error (the study simply starts from
+// scratch). With resume false the checkpoint starts empty and the file is
+// replaced at the first completed point.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
+	ck := &Checkpoint{path: path, points: make(map[string]map[string]sim.Estimate)}
+	if !resume {
+		return ck, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("study: reading checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("study: corrupt checkpoint %s: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("study: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	if f.Points != nil {
+		ck.points = f.Points
+	}
+	return ck, nil
+}
+
+// Len reports the number of completed sweep points recorded.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.points)
+}
+
+// lookup returns the stored estimates for a point key, if present.
+func (c *Checkpoint) lookup(key string) (map[string]sim.Estimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est, ok := c.points[key]
+	return est, ok
+}
+
+// store records a completed point and rewrites the checkpoint file
+// atomically.
+func (c *Checkpoint) store(key string, est map[string]sim.Estimate) error {
+	c.mu.Lock()
+	c.points[key] = est
+	err := c.save()
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if c.onSave != nil {
+		c.onSave()
+	}
+	return nil
+}
+
+// save writes the checkpoint under c.mu: marshal to a temp file in the
+// destination directory, fsync-free rename into place.
+func (c *Checkpoint) save() error {
+	data, err := json.Marshal(checkpointFile{Version: checkpointVersion, Points: c.points})
+	if err != nil {
+		return fmt.Errorf("study: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("study: writing checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("study: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("study: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, c.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("study: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// pointKey fingerprints everything that determines a sweep point's result:
+// the model parameters, the horizon, the replication count, and the
+// effective root seed. Two points with equal keys are guaranteed equal
+// results, which is what makes resume exact.
+func pointKey(cfg Config, p core.Params, until float64, seedOffset uint64) string {
+	pj, err := json.Marshal(p)
+	if err != nil {
+		// core.Params is a struct of scalars; Marshal cannot fail on it.
+		panic(fmt.Sprintf("study: marshaling params: %v", err))
+	}
+	return fmt.Sprintf("v%d|reps=%d|seed=%d|until=%g|params=%s",
+		checkpointVersion, cfg.Reps, cfg.Seed+seedOffset, until, pj)
+}

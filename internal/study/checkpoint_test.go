@@ -1,0 +1,173 @@
+package study
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCheckpointResume interrupts a sweep after two completed points, then
+// resumes it from the checkpoint file and requires the resumed figure to be
+// bit-identical to an uninterrupted run — the acceptance criterion for the
+// whole checkpoint/resume design (replication seeds are derived per point
+// and per replication from the root seed, so skipping completed points
+// changes nothing downstream).
+func TestCheckpointResume(t *testing.T) {
+	cfg := Config{Reps: 60, Seed: 11, Workers: 2}
+	ref, err := AblationDetectionRate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "study.ckpt.json")
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ck.onSave = func() {
+		if ck.Len() >= 2 {
+			cancel()
+		}
+	}
+	interruptedCfg := cfg
+	interruptedCfg.Checkpoint = ck
+	if _, err := AblationDetectionRate(ctx, interruptedCfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	done := ck.Len()
+	if done < 2 {
+		t.Fatalf("only %d points checkpointed before cancellation", done)
+	}
+	if done >= 6 {
+		t.Fatal("all 6 points completed; cancellation never took effect")
+	}
+
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Len() != done {
+		t.Fatalf("reloaded checkpoint has %d points, want %d", ck2.Len(), done)
+	}
+	resumedCfg := cfg
+	resumedCfg.Checkpoint = ck2
+	got, err := AblationDetectionRate(context.Background(), resumedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("resumed figure differs from uninterrupted run:\nref: %+v\ngot: %+v", ref, got)
+	}
+	if ck2.Len() != 6 {
+		t.Fatalf("resumed run checkpointed %d points, want all 6", ck2.Len())
+	}
+}
+
+// TestCheckpointSkipsSimulation verifies a fully checkpointed study is
+// answered from the file alone: rerunning with the loaded checkpoint must
+// not add points and must return the same figure.
+func TestCheckpointSkipsSimulation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "study.ckpt.json")
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Reps: 40, Seed: 5, Checkpoint: ck}
+	first, err := AblationDetectionRate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ck.Len()
+
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := 0
+	ck2.onSave = func() { stores++ }
+	cfg.Checkpoint = ck2
+	second, err := AblationDetectionRate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stores != 0 {
+		t.Fatalf("fully checkpointed rerun stored %d new points", stores)
+	}
+	if ck2.Len() != n {
+		t.Fatalf("point count changed: %d -> %d", n, ck2.Len())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("checkpointed rerun returned a different figure")
+	}
+}
+
+// TestCheckpointKeyDiscriminates ensures the point key fingerprints
+// everything that determines a result, so a checkpoint written under one
+// configuration can never satisfy another.
+func TestCheckpointKeyDiscriminates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "study.ckpt.json")
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Reps: 30, Seed: 5, Checkpoint: ck}
+	if _, err := AblationDetectionRate(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+	n := ck.Len()
+
+	for name, cfg := range map[string]Config{
+		"reps": {Reps: 31, Seed: 5, Checkpoint: ck},
+		"seed": {Reps: 30, Seed: 6, Checkpoint: ck},
+	} {
+		before := ck.Len()
+		if _, err := AblationDetectionRate(context.Background(), cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ck.Len() != before+n {
+			t.Fatalf("%s change reused checkpointed points: %d -> %d", name, before, ck.Len())
+		}
+	}
+}
+
+func TestOpenCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file with resume: fine, empty checkpoint.
+	ck, err := OpenCheckpoint(filepath.Join(dir, "absent.json"), true)
+	if err != nil || ck.Len() != 0 {
+		t.Fatalf("missing file: ck=%v err=%v", ck, err)
+	}
+
+	// Corrupt JSON is rejected.
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(corrupt, true); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+
+	// Version mismatch is rejected.
+	old := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(old, []byte(`{"version":99,"points":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(old, true); err == nil {
+		t.Fatal("version-mismatched checkpoint accepted")
+	}
+
+	// Without resume an existing file is ignored, not loaded.
+	if err := os.WriteFile(old, []byte(`{"version":99,"points":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err = OpenCheckpoint(old, false)
+	if err != nil || ck.Len() != 0 {
+		t.Fatalf("resume=false: ck.Len()=%d err=%v", ck.Len(), err)
+	}
+}

@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 
 	"ituaval/internal/core"
@@ -16,7 +17,7 @@ var Fig3Apps = []int{2, 4, 6, 8}
 
 // Fig3 reproduces Figure 3 (Section 4.1): different distributions of 12
 // hosts into domains, 7 replicas per application, first 5 hours.
-func Fig3(cfg Config) (*Figure, error) {
+func Fig3(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	const T = 5.0
 	fig := &Figure{ID: "3", Title: "Variations in Measures for Different Distributions of 12 Hosts (first 5 h)"}
@@ -45,7 +46,7 @@ func Fig3(cfg Config) (*Figure, error) {
 			// the number of applications".
 			p.RateBaseHosts = 12
 			p.RateBaseReplicas = 28
-			est, err := point(cfg, p, T, uint64(1000*apps+pi),
+			est, err := point(ctx, cfg, p, T, uint64(1000*apps+pi),
 				func(m *core.Model) []reward.Var {
 					return []reward.Var{
 						m.Unavailability("unavail", 0, 0, T),
@@ -79,7 +80,7 @@ var Fig4HostsPerDomain = []int{1, 2, 3, 4}
 // domain, 4 applications with 7 replicas each. The per-host intrusion
 // probability is held constant across the sweep (RateBaseHosts pins the
 // rate denominators to the 10-host baseline), as the paper states.
-func Fig4(cfg Config) (*Figure, error) {
+func Fig4(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	const T = 10.0
 	const steadyT = 120.0
@@ -104,7 +105,7 @@ func Fig4(cfg Config) (*Figure, error) {
 		p.NumApps = 4
 		p.RepsPerApp = 7
 		p.RateBaseHosts = 10 // constant per-host rates across the sweep
-		est, err := point(cfg, p, T, uint64(2000+pi), func(m *core.Model) []reward.Var {
+		est, err := point(ctx, cfg, p, T, uint64(2000+pi), func(m *core.Model) []reward.Var {
 			return []reward.Var{
 				m.Unavailability("u5", 0, 0, 5),
 				m.Unavailability("u10", 0, 0, 10),
@@ -123,7 +124,7 @@ func Fig4(cfg Config) (*Figure, error) {
 		if longCfg.Reps > 500 {
 			longCfg.Reps = 500
 		}
-		estSS, err := point(longCfg, p, steadyT, uint64(2100+pi), func(m *core.Model) []reward.Var {
+		estSS, err := point(ctx, longCfg, p, steadyT, uint64(2100+pi), func(m *core.Model) []reward.Var {
 			return []reward.Var{m.FracCorruptHostsAtExclusion("cf", steadyT)}
 		})
 		if err != nil {
@@ -152,7 +153,7 @@ var Fig5SpreadRates = []float64{0, 2, 4, 6, 8, 10}
 // Fig5 reproduces Figure 5 (Section 4.3): domain-exclusion versus
 // host-exclusion for varying intra-domain attack-spread rates; 10 domains
 // of 3 hosts, 4 applications with 7 replicas, corruption multiplier 5.
-func Fig5(cfg Config) (*Figure, error) {
+func Fig5(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	const T = 10.0
 	fig := &Figure{ID: "5", Title: "Unavailability and Unreliability for Different Exclusion Algorithms"}
@@ -177,7 +178,7 @@ func Fig5(cfg Config) (*Figure, error) {
 			p.CorruptionMult = 5
 			p.DomainSpreadRate = spread
 			p.Policy = policy
-			est, err := point(cfg, p, T, uint64(3000+100*si+pi), func(m *core.Model) []reward.Var {
+			est, err := point(ctx, cfg, p, T, uint64(3000+100*si+pi), func(m *core.Model) []reward.Var {
 				return []reward.Var{
 					m.Unavailability("u5", 0, 0, 5),
 					m.Unavailability("u10", 0, 0, 10),

@@ -1,12 +1,16 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
 
-// Runner produces one figure.
-type Runner func(Config) (*Figure, error)
+// Runner produces one figure. Runners honor ctx: cancelling it aborts the
+// sweep after the current replication batch, and with Config.Checkpoint set
+// every completed sweep point has already been persisted, so the run can be
+// resumed later with identical results.
+type Runner func(context.Context, Config) (*Figure, error)
 
 // Registry maps experiment ids (cmd/figures arguments) to runners.
 var Registry = map[string]Runner{
@@ -33,9 +37,14 @@ func IDs() []string {
 
 // Run looks up and executes the experiment with the given id.
 func Run(id string, cfg Config) (*Figure, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext is Run with cooperative cancellation (see Runner).
+func RunContext(ctx context.Context, id string, cfg Config) (*Figure, error) {
 	r, ok := Registry[id]
 	if !ok {
 		return nil, fmt.Errorf("study: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return r(cfg)
+	return r(ctx, cfg)
 }

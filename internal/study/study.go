@@ -6,16 +6,19 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"ituaval/internal/core"
 	"ituaval/internal/reward"
 	"ituaval/internal/sim"
 )
 
-// Config controls simulation effort for all studies.
+// Config controls simulation effort and fault-tolerance policy for all
+// studies.
 type Config struct {
 	// Reps is the number of replications per sweep point (default 2000).
 	Reps int
@@ -23,6 +26,28 @@ type Config struct {
 	Seed uint64
 	// Workers bounds parallelism (0 = all cores).
 	Workers int
+	// RepDeadline, when positive, is the per-replication wall-clock
+	// watchdog forwarded to sim.Spec: a hung replication becomes a recorded
+	// failure instead of wedging the sweep.
+	RepDeadline time.Duration
+	// MaxFailureFrac is forwarded to sim.Spec.MaxFailureFrac (0 = the sim
+	// package default): the fraction of replications per point allowed to
+	// fail before the point — and so the study — errors out.
+	MaxFailureFrac float64
+	// Checkpoint, when non-nil, records every completed sweep point and
+	// skips points it already holds, making interrupted studies resumable
+	// with bit-identical results (seeds are derived per point and per
+	// replication from the root seed).
+	Checkpoint *Checkpoint
+	// Warnf, when non-nil, receives warnings such as per-point replication
+	// failures that stayed under the tolerated fraction. Nil discards them.
+	Warnf func(format string, args ...any)
+}
+
+func (c Config) warnf(format string, args ...any) {
+	if c.Warnf != nil {
+		c.Warnf(format, args...)
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -99,27 +124,49 @@ func (f *Figure) WriteCSV(w io.Writer) error {
 	return err
 }
 
-// point runs one sweep point and returns the named estimates.
-func point(cfg Config, p core.Params, until float64, seedOffset uint64,
+// point runs one sweep point and returns the named estimates. When
+// cfg.Checkpoint is set, a point whose exact spec (params, horizon, reps,
+// seed) was already completed is returned from the checkpoint without
+// simulating, and a freshly computed point is persisted before returning —
+// the unit of resume granularity for interrupted sweeps.
+func point(ctx context.Context, cfg Config, p core.Params, until float64, seedOffset uint64,
 	vars func(m *core.Model) []reward.Var) (map[string]sim.Estimate, error) {
+	var key string
+	if cfg.Checkpoint != nil {
+		key = pointKey(cfg, p, until, seedOffset)
+		if est, ok := cfg.Checkpoint.lookup(key); ok {
+			return est, nil
+		}
+	}
 	m, err := core.Build(p)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(sim.Spec{
-		Model:   m.SAN,
-		Until:   until,
-		Reps:    cfg.Reps,
-		Seed:    cfg.Seed + seedOffset,
-		Workers: cfg.Workers,
-		Vars:    vars(m),
+	res, err := sim.RunContext(ctx, sim.Spec{
+		Model:          m.SAN,
+		Until:          until,
+		Reps:           cfg.Reps,
+		Seed:           cfg.Seed + seedOffset,
+		Workers:        cfg.Workers,
+		Vars:           vars(m),
+		RepDeadline:    cfg.RepDeadline,
+		MaxFailureFrac: cfg.MaxFailureFrac,
 	})
 	if err != nil {
 		return nil, err
 	}
+	if res.Failed > 0 {
+		cfg.warnf("study: %d of %d replications failed at this sweep point; estimates use the %d survivors (first failure: %v)",
+			res.Failed, res.Reps, res.Completed, &res.Failures[0])
+	}
 	out := make(map[string]sim.Estimate, len(res.Estimates))
 	for _, e := range res.Estimates {
 		out[e.Name] = e
+	}
+	if cfg.Checkpoint != nil {
+		if err := cfg.Checkpoint.store(key, out); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

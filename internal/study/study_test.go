@@ -1,6 +1,7 @@
 package study
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ import (
 func quick() Config { return Config{Reps: 250, Seed: 7} }
 
 func TestFig3Shapes(t *testing.T) {
-	fig, err := Fig3(quick())
+	fig, err := Fig3(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestFig3Shapes(t *testing.T) {
 }
 
 func TestFig4Shapes(t *testing.T) {
-	fig, err := Fig4(quick())
+	fig, err := Fig4(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFig4Shapes(t *testing.T) {
 func TestFig5Shapes(t *testing.T) {
 	// Per-run unavailability is heavy-tailed, so this sweep needs more
 	// replications than the other shape tests for stable orderings.
-	fig, err := Fig5(Config{Reps: 1500, Seed: 7})
+	fig, err := Fig5(context.Background(), Config{Reps: 1500, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFig5Shapes(t *testing.T) {
 }
 
 func TestCrossValidationAgreement(t *testing.T) {
-	fig, err := CrossValidation(Config{Reps: 800, Seed: 3})
+	fig, err := CrossValidation(context.Background(), Config{Reps: 800, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestCrossValidationAgreement(t *testing.T) {
 }
 
 func TestNumericalValidationAgreement(t *testing.T) {
-	fig, err := NumericalValidation(Config{Reps: 2000, Seed: 5})
+	fig, err := NumericalValidation(context.Background(), Config{Reps: 2000, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestNumericalValidationAgreement(t *testing.T) {
 }
 
 func TestAblationConvictionOrdering(t *testing.T) {
-	fig, err := AblationConviction(Config{Reps: 300, Seed: 9})
+	fig, err := AblationConviction(context.Background(), Config{Reps: 300, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestWriters(t *testing.T) {
-	fig, err := AblationDetectionRate(Config{Reps: 60, Seed: 11})
+	fig, err := AblationDetectionRate(context.Background(), Config{Reps: 60, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestMaxAbsGap(t *testing.T) {
 }
 
 func TestAblationPlacementLoadBalancing(t *testing.T) {
-	fig, err := AblationPlacement(Config{Reps: 400, Seed: 13})
+	fig, err := AblationPlacement(context.Background(), Config{Reps: 400, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestCrossValidationWithPlacementStrategies(t *testing.T) {
 		p.RepsPerApp = 4
 		p.Placement = placement
 		const T, reps = 6.0, 1200
-		est, err := point(Config{Reps: reps, Seed: 21}, p, T, 0, func(m *core.Model) []reward.Var {
+		est, err := point(context.Background(), Config{Reps: reps, Seed: 21}, p, T, 0, func(m *core.Model) []reward.Var {
 			return []reward.Var{m.Unavailability("u", 0, 0, T)}
 		})
 		if err != nil {

@@ -24,6 +24,7 @@
 package ituaval
 
 import (
+	"context"
 	"io"
 
 	"ituaval/internal/core"
@@ -72,6 +73,24 @@ type SimResults = sim.Results
 // Simulate runs a replicated terminating simulation.
 func Simulate(spec SimSpec) (*SimResults, error) { return sim.Run(spec) }
 
+// SimulateContext is Simulate with cooperative cancellation: cancelling ctx
+// stops the study and returns the partial results accumulated so far
+// alongside ctx.Err(). Replications that panic, overrun spec.RepDeadline,
+// or exhaust their firing budget are isolated and recorded in
+// Results.Failures with the seed that reproduces them.
+func SimulateContext(ctx context.Context, spec SimSpec) (*SimResults, error) {
+	return sim.RunContext(ctx, spec)
+}
+
+// ReplicationError describes one failed replication (panic, watchdog
+// deadline, or firing budget) with enough information to reproduce it.
+type ReplicationError = sim.ReplicationError
+
+// Replay re-executes a single replication of spec deterministically and
+// returns its failure (nil if it completes cleanly). Use it to reproduce a
+// failure recorded in SimResults.Failures under a debugger.
+func Replay(spec SimSpec, rep int) *ReplicationError { return sim.Replay(spec, rep) }
+
 // StudyConfig controls experiment effort (replications, seed, workers).
 type StudyConfig = study.Config
 
@@ -85,6 +104,22 @@ func Experiments() []string { return study.IDs() }
 // RunExperiment reproduces one registered experiment.
 func RunExperiment(id string, cfg StudyConfig) (*Figure, error) { return study.Run(id, cfg) }
 
+// RunExperimentContext is RunExperiment with cooperative cancellation. With
+// cfg.Checkpoint set, every completed sweep point is persisted before the
+// next begins, so an interrupted experiment can be resumed bit-identically.
+func RunExperimentContext(ctx context.Context, id string, cfg StudyConfig) (*Figure, error) {
+	return study.RunContext(ctx, id, cfg)
+}
+
+// StudyCheckpoint persists completed sweep points for resumable studies.
+type StudyCheckpoint = study.Checkpoint
+
+// OpenStudyCheckpoint opens (resume=true: loads) a checkpoint file to pass
+// as StudyConfig.Checkpoint.
+func OpenStudyCheckpoint(path string, resume bool) (*StudyCheckpoint, error) {
+	return study.OpenCheckpoint(path, resume)
+}
+
 // WriteFigureText renders a figure as aligned text tables.
 func WriteFigureText(w io.Writer, f *Figure) error { return f.WriteText(w) }
 
@@ -95,4 +130,10 @@ type DirectResult = ituadirect.Result
 // simulator, used to cross-validate the SAN model.
 func DirectRun(p Params, seed uint64, horizons []float64) (DirectResult, error) {
 	return ituadirect.Run(p, rng.New(seed), horizons)
+}
+
+// DirectRunContext is DirectRun with cooperative cancellation and panic
+// isolation (a panicking run returns an error instead of crashing).
+func DirectRunContext(ctx context.Context, p Params, seed uint64, horizons []float64) (DirectResult, error) {
+	return ituadirect.RunContext(ctx, p, rng.New(seed), horizons)
 }
