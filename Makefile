@@ -6,7 +6,7 @@
 #          under the race detector
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-json
 
 ci: vet build test race
 
@@ -20,7 +20,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/study/...
+	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-json runs the benchmark suite and archives the results as
+# BENCH_<date>.json (name, ns/op, reps, allocation stats, custom metrics)
+# for diffing across commits. See cmd/benchjson.
+bench-json:
+	$(GO) test -bench=. -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson

@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` output into a JSON report,
+// so benchmark results can be archived and diffed across commits. It reads
+// the benchmark text from stdin and writes BENCH_<date>.json (or -o):
+//
+//	go test -bench=. -benchmem -run='^$' . | go run ./cmd/benchjson
+//
+// Every benchmark line becomes one record with the name, iteration count,
+// ns/op, allocation stats, and any custom metrics (the figure benches
+// report panel endpoints that way); the goos/goarch/cpu header lines are
+// carried into the report envelope. `make bench-json` runs the whole
+// pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix and
+	// without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the benchmark name (1 if absent).
+	Procs int `json:"procs"`
+	// Reps is the iteration count the benchmark settled on.
+	Reps int64 `json:"reps"`
+	// NsPerOp is the reported time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are reported with -benchmem.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds every custom b.ReportMetric unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON envelope written to the output file.
+type Report struct {
+	Date       string      `json:"date"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseBenchLine parses one benchmark result line, reporting ok=false for
+// anything that is not one (PASS, ok, header lines, test log output).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: strings.TrimPrefix(fields[0], "Benchmark"), Procs: 1}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil && procs > 0 {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	reps, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Reps = reps
+	// The rest of the line is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// parse reads `go test -bench` output and assembles the report.
+func parse(r io.Reader, now time.Time) (*Report, error) {
+	rep := &Report{Date: now.Format(time.RFC3339)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	header := map[string]*string{
+		"goos:": &rep.GoOS, "goarch:": &rep.GoArch, "pkg:": &rep.Pkg, "cpu:": &rep.CPU,
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if dst, ok := header[fields[0]]; ok && *dst == "" {
+				*dst = strings.Join(fields[1:], " ")
+				continue
+			}
+		}
+		if b, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+	rep, err := parse(os.Stdin, time.Now())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (pipe `go test -bench` output in)")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), path)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ituaval
+cpu: AMD EPYC 7B13
+BenchmarkFig3aUnavailability-8   	       2	 612345678 ns/op	         0.01234 y_first	         0.04321 y_last	 1234567 B/op	    8901 allocs/op
+BenchmarkEngineEventThroughput   	    1200	    987654 ns/op	  52340000 events/s
+BenchmarkModelBuild-16           	    5000	    240000 ns/op	  310000 B/op	    4200 allocs/op
+PASS
+ok  	ituaval	42.137s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample), time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "ituaval" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header envelope wrong: %+v", rep)
+	}
+	if rep.Date != "2026-08-06T12:00:00Z" {
+		t.Fatalf("date = %q", rep.Date)
+	}
+	want := []Benchmark{
+		{
+			Name: "Fig3aUnavailability", Procs: 8, Reps: 2, NsPerOp: 612345678,
+			BytesPerOp: 1234567, AllocsPerOp: 8901,
+			Metrics: map[string]float64{"y_first": 0.01234, "y_last": 0.04321},
+		},
+		{
+			Name: "EngineEventThroughput", Procs: 1, Reps: 1200, NsPerOp: 987654,
+			Metrics: map[string]float64{"events/s": 52340000},
+		},
+		{
+			Name: "ModelBuild", Procs: 16, Reps: 5000, NsPerOp: 240000,
+			BytesPerOp: 310000, AllocsPerOp: 4200,
+		},
+	}
+	if !reflect.DeepEqual(rep.Benchmarks, want) {
+		t.Fatalf("parsed benchmarks:\n%+v\nwant:\n%+v", rep.Benchmarks, want)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	ituaval	42.137s",
+		"--- BENCH: BenchmarkX",
+		"BenchmarkBroken notanumber ns/op",
+		"goos: linux",
+		"",
+		"    sim_test.go:42: some log line",
+	} {
+		if b, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q parsed as benchmark %+v", line, b)
+		}
+	}
+}
+
+// TestParseBenchLineNameWithDash pins the GOMAXPROCS-suffix heuristic: a
+// dash followed by something non-numeric belongs to the name.
+func TestParseBenchLineNameWithDash(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkParse-utf8 	 100 	 5 ns/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "Parse-utf8" || b.Procs != 1 {
+		t.Fatalf("name %q procs %d", b.Name, b.Procs)
+	}
+}

@@ -5,11 +5,21 @@
 //
 // Usage:
 //
-//	figures [-reps N] [-seed S] [-csv dir] [-checkpoint file] [-resume] [experiment ...]
+//	figures [-reps N] [-seed S] [-precision R] [-paired] [-csv dir] [-checkpoint file] [-resume] [experiment ...]
 //
 // With no experiment arguments every registered experiment runs. Text
 // tables go to stdout; -csv additionally writes one CSV file per
 // experiment into the given directory.
+//
+// -precision R switches every sweep point from a fixed replication count
+// to sequential stopping: replications grow geometrically from -reps until
+// each measure's 95% confidence half-width falls below R times its mean
+// (combinable with -abs-precision for an absolute target), bounded by
+// -max-reps. -paired substitutes the CRN-paired variant for experiments
+// that have one (fig5 becomes fig5-paired): both exclusion policies run on
+// common random numbers and the figure reports host-minus-domain deltas
+// with paired-t intervals, crossover locations, and the observed
+// variance-reduction factors.
 //
 // Long sweeps are fault tolerant: with -checkpoint, every completed sweep
 // point is persisted atomically, Ctrl-C (SIGINT) or SIGTERM stops the run
@@ -45,6 +55,10 @@ func main() {
 	resume := flag.Bool("resume", false, "skip sweep points already in the checkpoint file (implies -checkpoint figures.ckpt.json if unset)")
 	repDeadline := flag.Duration("rep-deadline", 0, "wall-clock watchdog per replication (0 = none)")
 	maxFailFrac := flag.Float64("max-failure-frac", 0, "tolerated fraction of failed replications per point (0 = default 5%, negative = none)")
+	relHW := flag.Float64("precision", 0, "relative 95% half-width target per measure; grows replications from -reps until met (0 = fixed -reps)")
+	absHW := flag.Float64("abs-precision", 0, "absolute 95% half-width target per measure (0 = none)")
+	maxReps := flag.Int("max-reps", 0, "replication cap per sweep point in precision mode (0 = 16x -reps)")
+	paired := flag.Bool("paired", false, "use the CRN-paired variant of experiments that have one (fig5 -> fig5-paired)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: %s [flags] [experiment ...]\nexperiments: %s\nflags:\n",
@@ -77,9 +91,24 @@ func main() {
 	if len(ids) == 0 {
 		ids = study.IDs()
 	}
+	if *paired {
+		seen := make(map[string]bool)
+		deduped := ids[:0]
+		for _, id := range ids {
+			if id == "fig5" {
+				id = "fig5-paired"
+			}
+			if !seen[id] {
+				seen[id] = true
+				deduped = append(deduped, id)
+			}
+		}
+		ids = deduped
+	}
 	cfg := study.Config{
 		Reps: *reps, Seed: *seed, Workers: *workers,
 		RepDeadline: *repDeadline, MaxFailureFrac: *maxFailFrac,
+		TargetRelHW: *relHW, TargetAbsHW: *absHW, MaxReps: *maxReps,
 		Checkpoint: ck,
 		Warnf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)

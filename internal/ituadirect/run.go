@@ -29,7 +29,7 @@ func (s *process) collect(buf []transition) []transition {
 		if s.hostStatus[g] == 0 && s.hostRate > 0 {
 			rate := s.hostRate * (1 + s.spreadBoost(d))
 			buf = append(buf, transition{rate, func() {
-				s.hostStatus[g] = 1 + s.rs.Category(s.pClass[:])
+				s.hostStatus[g] = 1 + s.hostRand(g).Category(s.pClass[:])
 				s.intrusions++
 			}})
 		}
@@ -65,7 +65,7 @@ func (s *process) collect(buf []transition) []transition {
 			buf = append(buf, transition{p.HostDetectRate, func() {
 				s.hostDetected[g] = true
 				class := s.hostStatus[g] - 1
-				if s.rs.Bernoulli(s.detectClass[class]) &&
+				if s.hostRand(g).Bernoulli(s.detectClass[class]) &&
 					!s.mgrCorrupt[g] && s.domainGroupOK(d) {
 					s.exclude(g)
 				}
@@ -76,7 +76,7 @@ func (s *process) collect(buf []transition) []transition {
 		if s.mgrCorrupt[g] && !s.mgrDetected[g] && p.MgrDetectRate > 0 {
 			buf = append(buf, transition{p.MgrDetectRate, func() {
 				s.mgrDetected[g] = true
-				if s.rs.Bernoulli(p.DetectMgr) &&
+				if s.mgrRand(g).Bernoulli(p.DetectMgr) &&
 					(s.domainGroupOK(d) || s.globalQuorumOK()) {
 					s.exclude(g)
 				}
@@ -121,7 +121,7 @@ func (s *process) collect(buf []transition) []transition {
 			if s.repCorrupt[a][r] && !s.repConvicted[a][r] && !s.repDetected[a][r] && p.ReplicaDetectRate > 0 {
 				buf = append(buf, transition{p.ReplicaDetectRate, func() {
 					s.repDetected[a][r] = true
-					if s.rs.Bernoulli(p.DetectReplica) {
+					if s.repRand(a, r).Bernoulli(p.DetectReplica) {
 						s.convict(a, r)
 					}
 				}})
@@ -308,7 +308,8 @@ func (s *process) recover(a int) {
 	if len(doms) == 0 {
 		return
 	}
-	g := s.chooseHost(doms[s.rs.Choose(len(doms))])
+	rs := s.recRand(a)
+	g := s.chooseHost(rs, doms[rs.Choose(len(doms))])
 	for r := range s.onHost[a] {
 		if s.onHost[a][r] < 0 {
 			s.onHost[a][r] = g
@@ -370,7 +371,7 @@ func (s *process) run(ctx context.Context, horizons []float64) (Result, error) {
 		if total <= 0 {
 			break // absorbed: state frozen until the last horizon
 		}
-		dt := s.rs.Expo(total)
+		dt := s.timeRand().Expo(total)
 		t := now + dt
 		improper := s.improper(0)
 		byz := s.grpFail[0]
@@ -380,7 +381,7 @@ func (s *process) run(ctx context.Context, horizons []float64) (Result, error) {
 		}
 		record(t, improper, byz)
 		// choose the transition
-		u := s.rs.Float64() * total
+		u := s.selectRand().Float64() * total
 		acc := 0.0
 		idx := len(buf) - 1
 		for i, tr := range buf {

@@ -20,10 +20,37 @@ import (
 	"ituaval/internal/rng"
 )
 
+// Opts configures optional behaviour of one replication.
+type Opts struct {
+	// CRN enables common-random-numbers mode: every stochastic role (the
+	// initial placement, the jump-time clock, the transition selector, and
+	// each entity's outcome trials) samples from its own substream derived
+	// from the replication stream by the stable hash of the role's name.
+	// Two configurations differing only in policy then consume identical
+	// randomness for identical roles — the same attack classes, detection
+	// outcomes, and placements — so their per-replication measures are
+	// positively correlated and their difference admits a paired estimator.
+	// Results stay deterministic for a fixed seed but are not
+	// bit-compatible with single-stream runs of the same seed.
+	CRN bool
+}
+
 // sim holds the explicit entity state of one replication. Time is in hours.
 type process struct {
 	p  core.Params
 	rs *rng.Stream
+
+	// CRN role substreams (nil when disabled): see Opts.CRN. Entity roles
+	// are keyed by stable names ("host[g]", "mgr[g]", "app[a].rep[r]",
+	// "app[a].recovery"), so the same entity draws the same outcome
+	// sequence under either exclusion policy.
+	crn          bool
+	timeStream   *rng.Stream
+	selectStream *rng.Stream
+	hostRoles    []*rng.Stream
+	mgrRoles     []*rng.Stream
+	repRoles     [][]*rng.Stream
+	recRoles     []*rng.Stream
 
 	hostRate, repRate, mgrRate  float64 // per-entity base attack rates
 	hostFalseRate, repFalseRate float64
@@ -91,7 +118,12 @@ func Run(p core.Params, seed *rng.Stream, horizons []float64) (Result, error) {
 // attaching a deadline to it) aborts a runaway replication with ctx.Err()
 // instead of hanging the sweep, and a panic inside the process is returned
 // as an error carrying the stack.
-func RunContext(ctx context.Context, p core.Params, seed *rng.Stream, horizons []float64) (res Result, err error) {
+func RunContext(ctx context.Context, p core.Params, seed *rng.Stream, horizons []float64) (Result, error) {
+	return RunContextOpts(ctx, p, seed, horizons, Opts{})
+}
+
+// RunContextOpts is RunContext with explicit options (see Opts).
+func RunContextOpts(ctx context.Context, p core.Params, seed *rng.Stream, horizons []float64, o Opts) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = Result{}, fmt.Errorf("ituadirect: panic: %v\n%s", r, debug.Stack())
@@ -103,11 +135,11 @@ func RunContext(ctx context.Context, p core.Params, seed *rng.Stream, horizons [
 	if len(horizons) == 0 {
 		return Result{}, fmt.Errorf("ituadirect: no horizons")
 	}
-	s := newSim(p, seed)
+	s := newSim(p, seed, o)
 	return s.run(ctx, horizons)
 }
 
-func newSim(p core.Params, rs *rng.Stream) *process {
+func newSim(p core.Params, rs *rng.Stream, o Opts) *process {
 	D, H, A, R := p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp
 	n := D * H
 	s := &process{
@@ -152,6 +184,29 @@ func newSim(p core.Params, rs *rng.Stream) *process {
 	s.pClass = [3]float64{p.PScript, p.PExploratory, p.PInnovative}
 	s.detectClass = [3]float64{p.DetectScript, p.DetectExploratory, p.DetectInnovative}
 
+	initStream := rs
+	if o.CRN {
+		s.crn = true
+		s.timeStream = rs.RoleNamed("__time__")
+		s.selectStream = rs.RoleNamed("__select__")
+		s.hostRoles = make([]*rng.Stream, n)
+		s.mgrRoles = make([]*rng.Stream, n)
+		for g := 0; g < n; g++ {
+			s.hostRoles[g] = rs.RoleNamed(fmt.Sprintf("host[%d]", g))
+			s.mgrRoles[g] = rs.RoleNamed(fmt.Sprintf("mgr[%d]", g))
+		}
+		s.recRoles = make([]*rng.Stream, A)
+		s.repRoles = make([][]*rng.Stream, A)
+		for a := 0; a < A; a++ {
+			s.recRoles[a] = rs.RoleNamed(fmt.Sprintf("app[%d].recovery", a))
+			s.repRoles[a] = make([]*rng.Stream, R)
+			for r := 0; r < R; r++ {
+				s.repRoles[a][r] = rs.RoleNamed(fmt.Sprintf("app[%d].rep[%d]", a, r))
+			}
+		}
+		initStream = rs.RoleNamed("__init__")
+	}
+
 	// Initial placement: min(R, D) replicas per app on distinct uniformly
 	// chosen domains, uniform host within each.
 	s.onHost = make([][]int, A)
@@ -167,13 +222,13 @@ func newSim(p core.Params, rs *rng.Stream) *process {
 		s.repCorrupt[a] = make([]bool, R)
 		s.repConvicted[a] = make([]bool, R)
 		s.repDetected[a] = make([]bool, R)
-		rs.Perm(perm)
+		initStream.Perm(perm)
 		k := R
 		if D < k {
 			k = D
 		}
 		for i := 0; i < k; i++ {
-			s.onHost[a][i] = s.chooseHost(perm[i])
+			s.onHost[a][i] = s.chooseHost(initStream, perm[i])
 			s.running[a]++
 		}
 	}
@@ -181,6 +236,51 @@ func newSim(p core.Params, rs *rng.Stream) *process {
 }
 
 func (s *process) domainOf(g int) int { return g / s.p.HostsPerDomain }
+
+// The *Rand accessors return the stream a given stochastic role draws from:
+// its own substream under CRN, the single replication stream otherwise.
+
+func (s *process) hostRand(g int) *rng.Stream {
+	if s.crn {
+		return s.hostRoles[g]
+	}
+	return s.rs
+}
+
+func (s *process) mgrRand(g int) *rng.Stream {
+	if s.crn {
+		return s.mgrRoles[g]
+	}
+	return s.rs
+}
+
+func (s *process) repRand(a, r int) *rng.Stream {
+	if s.crn {
+		return s.repRoles[a][r]
+	}
+	return s.rs
+}
+
+func (s *process) recRand(a int) *rng.Stream {
+	if s.crn {
+		return s.recRoles[a]
+	}
+	return s.rs
+}
+
+func (s *process) timeRand() *rng.Stream {
+	if s.crn {
+		return s.timeStream
+	}
+	return s.rs
+}
+
+func (s *process) selectRand() *rng.Stream {
+	if s.crn {
+		return s.selectStream
+	}
+	return s.rs
+}
 
 // hostLoad counts the replicas currently running on host g.
 func (s *process) hostLoad(g int) int {
@@ -196,8 +296,8 @@ func (s *process) hostLoad(g int) int {
 }
 
 // chooseHost picks a live host of domain d per the placement strategy,
-// mirroring core's semantics.
-func (s *process) chooseHost(d int) int {
+// mirroring core's semantics, drawing from the caller's role stream.
+func (s *process) chooseHost(rs *rng.Stream, d int) int {
 	H := s.p.HostsPerDomain
 	var hostsUp []int
 	for h := 0; h < H; h++ {
@@ -219,9 +319,9 @@ func (s *process) chooseHost(d int) int {
 		for i, g := range hostsUp {
 			weights[i] = 1 / (1 + float64(s.hostLoad(g)))
 		}
-		return hostsUp[s.rs.Category(weights)]
+		return hostsUp[rs.Category(weights)]
 	default:
-		return hostsUp[s.rs.Choose(len(hostsUp))]
+		return hostsUp[rs.Choose(len(hostsUp))]
 	}
 }
 

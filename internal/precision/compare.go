@@ -1,0 +1,217 @@
+package precision
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ituaval/internal/sim"
+	"ituaval/internal/stats"
+)
+
+// Opts configures a paired comparison.
+type Opts struct {
+	// Level is the confidence level of the paired-t intervals (default
+	// 0.95).
+	Level float64
+	// Targets, when non-empty, turns the comparison sequential: batches of
+	// replications grow geometrically until every listed measure's *delta*
+	// meets its precision, bounded by MaxReps. Empty runs a single batch of
+	// specA.Reps replications.
+	Targets []Target
+	// InitialReps, MaxReps, Growth configure the sequential schedule
+	// exactly as in Spec (ignored without Targets).
+	InitialReps int
+	MaxReps     int
+	Growth      float64
+}
+
+// Measure is the paired comparison of one reward variable shared by the two
+// configurations: the paired-t summary of the per-replication deltas
+// (A − B), plus both marginal estimates for context.
+type Measure struct {
+	Name string
+	stats.PairedResult
+	// A and B are the marginal estimates of the two configurations.
+	A, B sim.Estimate
+}
+
+func (m Measure) String() string {
+	return fmt.Sprintf("Δ%s = %.6g ± %.2g (n=%d, corr %.2f, VRF %.1f)",
+		m.Name, m.Delta, m.HalfWidth, m.N, m.Corr, m.VRF)
+}
+
+// Comparison is the outcome of Compare.
+type Comparison struct {
+	// Measures, in specA.Vars order, covers every variable name the two
+	// specs share.
+	Measures []Measure
+	// A and B are the full per-configuration results.
+	A, B *sim.Results
+	// Reps is the number of replications run per configuration.
+	Reps int
+	// Batches is the number of batches executed (1 without Targets).
+	Batches int
+	// Met reports whether every requested delta target was satisfied; it is
+	// true when no targets were requested.
+	Met bool
+}
+
+// Get returns the named measure.
+func (c *Comparison) Get(name string) (Measure, bool) {
+	for _, m := range c.Measures {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Measure{}, false
+}
+
+// Compare estimates the difference between two model configurations on
+// common random numbers. Both specs are forced into CRN mode with
+// per-replication retention, and specB is re-seeded from specA so
+// replication i of either configuration consumes the identical randomness
+// for identical stochastic roles; the per-replication deltas then admit a
+// paired-t interval whose variance shrinks by the measures' CRN-induced
+// correlation (reported as VRF, the factor versus independent sampling at
+// equal replications).
+//
+// Without opts.Targets a single batch of specA.Reps replications runs per
+// configuration. With targets the comparison is sequential: batches grow
+// geometrically until every listed measure's delta reaches its half-width
+// target or MaxReps is hit (Met reports which). Either way the result is
+// bit-identical for a fixed seed across worker counts.
+//
+// The two specs may differ in model structure; variables are matched by
+// name, and both Antithetic flags must agree. On a partial failure
+// (cancellation, failure tolerance exceeded) the comparison built so far is
+// returned alongside the error.
+func Compare(ctx context.Context, specA, specB sim.Spec, opts Opts) (*Comparison, error) {
+	level := opts.Level
+	if level == 0 {
+		level = 0.95
+	}
+	if specA.Antithetic != specB.Antithetic {
+		return nil, errors.New("precision: Compare requires matching Antithetic flags")
+	}
+	if len(specA.Quantiles) > 0 || len(specB.Quantiles) > 0 {
+		return nil, errors.New("precision: Compare does not support Quantiles")
+	}
+	specA.CRN, specB.CRN = true, true
+	specA.KeepPerRep, specB.KeepPerRep = true, true
+	specB.Seed = specA.Seed
+	specB.FirstRep = specA.FirstRep
+
+	// Variables are matched by name; the shared set in specA order defines
+	// the measures.
+	idxA := make(map[string]int, len(specA.Vars))
+	for i, v := range specA.Vars {
+		idxA[v.Name()] = i
+	}
+	idxB := make(map[string]int, len(specB.Vars))
+	for i, v := range specB.Vars {
+		idxB[v.Name()] = i
+	}
+	var shared []string
+	known := make(map[string]bool)
+	for _, v := range specA.Vars {
+		if _, ok := idxB[v.Name()]; ok {
+			shared = append(shared, v.Name())
+			known[v.Name()] = true
+		}
+	}
+	if len(shared) == 0 {
+		return nil, errors.New("precision: the two specs share no variable names")
+	}
+
+	sequential := len(opts.Targets) > 0
+	var initial, max int
+	var growth float64
+	if sequential {
+		if err := validateTargets(opts.Targets, known); err != nil {
+			return nil, err
+		}
+		sched := Spec{Sim: specA, Targets: opts.Targets,
+			InitialReps: opts.InitialReps, MaxReps: opts.MaxReps, Growth: opts.Growth}
+		var err error
+		if initial, max, growth, err = sched.normalize(); err != nil {
+			return nil, err
+		}
+	} else {
+		if specA.Reps < 1 {
+			return nil, fmt.Errorf("precision: specA.Reps must be >= 1, got %d", specA.Reps)
+		}
+		initial, max, growth = specA.Reps, specA.Reps, 2
+	}
+
+	out := &Comparison{}
+	total := 0
+	for total < max {
+		reps := nextBatch(total, initial, max, growth, specA.Antithetic)
+		first := specA.FirstRep + total
+		if err := runBatch(ctx, specA, first, reps, &out.A); err != nil {
+			out.finish(shared, idxA, idxB, level)
+			return out, err
+		}
+		if err := runBatch(ctx, specB, first, reps, &out.B); err != nil {
+			out.finish(shared, idxA, idxB, level)
+			return out, err
+		}
+		total += reps
+		out.Reps = total
+		out.Batches++
+		out.finish(shared, idxA, idxB, level)
+		if sequential && deltaTargetsMet(opts.Targets, out) {
+			out.Met = true
+			return out, nil
+		}
+	}
+	out.Met = !sequential
+	return out, nil
+}
+
+// runBatch runs one batch of spec at the given absolute offset and merges
+// it into *acc.
+func runBatch(ctx context.Context, spec sim.Spec, first, reps int, acc **sim.Results) error {
+	spec.FirstRep = first
+	spec.Reps = reps
+	batch, err := sim.RunContext(ctx, spec)
+	if batch != nil {
+		if *acc == nil {
+			*acc = batch
+		} else if merr := (*acc).Merge(batch); merr != nil && err == nil {
+			err = merr
+		}
+	}
+	return err
+}
+
+// finish recomputes the paired measures from the accumulated results.
+func (c *Comparison) finish(shared []string, idxA, idxB map[string]int, level float64) {
+	c.Measures = c.Measures[:0]
+	if c.A == nil || c.B == nil {
+		return
+	}
+	for _, name := range shared {
+		m := Measure{Name: name}
+		m.A, _ = c.A.Get(name)
+		m.B, _ = c.B.Get(name)
+		if pr, err := stats.PairedT(c.A.PerRep[idxA[name]], c.B.PerRep[idxB[name]], level); err == nil {
+			m.PairedResult = pr
+		} else {
+			m.Level = level
+		}
+		c.Measures = append(c.Measures, m)
+	}
+}
+
+// deltaTargetsMet checks every target against its measure's paired delta.
+func deltaTargetsMet(targets []Target, c *Comparison) bool {
+	for _, t := range targets {
+		m, ok := c.Get(t.Var)
+		if !ok || m.N < 2 || !stats.PrecisionMet(m.Delta, m.HalfWidth, t.RelHW, t.AbsHW) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+package precision
+
+import "math"
+
+// Crossover marks a zero crossing of a delta curve along a sweep — the
+// point at which the better policy changes (Figure 5's question: up to
+// which intra-domain spread rate does host exclusion beat domain
+// exclusion?).
+type Crossover struct {
+	// X is the abscissa at which the piecewise-linear interpolant of the
+	// deltas crosses zero.
+	X float64
+	// I is the left bracketing sweep index: the crossing lies within
+	// [xs[I], xs[I+1]] (or exactly at xs[I] for an exactly-zero delta).
+	I int
+	// Resolved reports whether both bracketing deltas are statistically
+	// distinguishable from zero (|delta| exceeds its confidence
+	// half-width), so the sign change is not plausibly noise.
+	Resolved bool
+}
+
+// Crossovers locates every sign change of the delta curve sampled at sweep
+// points xs. hws, when non-nil, gives each delta's confidence half-width
+// and determines Resolved; with nil half-widths no crossing is marked
+// resolved. NaN deltas (failed sweep points) are skipped, and an
+// exactly-zero delta is reported as a crossing at its own abscissa. xs must
+// be strictly increasing and parallel to deltas.
+func Crossovers(xs, deltas, hws []float64) []Crossover {
+	var out []Crossover
+	prev := -1
+	for i := range deltas {
+		if math.IsNaN(deltas[i]) {
+			continue
+		}
+		if deltas[i] == 0 {
+			out = append(out, Crossover{X: xs[i], I: i})
+			prev = i
+			continue
+		}
+		if prev >= 0 && deltas[prev] != 0 && (deltas[prev] < 0) != (deltas[i] < 0) {
+			d0, d1 := deltas[prev], deltas[i]
+			c := Crossover{
+				X: xs[prev] + (xs[i]-xs[prev])*d0/(d0-d1),
+				I: prev,
+			}
+			if hws != nil {
+				c.Resolved = math.Abs(d0) > hws[prev] && math.Abs(d1) > hws[i]
+			}
+			out = append(out, c)
+		}
+		prev = i
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package precision
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCrossoversInterpolates(t *testing.T) {
+	xs := []float64{0, 2, 4, 6}
+	deltas := []float64{-2, -1, 1, 3}
+	hws := []float64{0.1, 0.1, 0.1, 0.1}
+	cs := Crossovers(xs, deltas, hws)
+	if len(cs) != 1 {
+		t.Fatalf("found %d crossings, want 1: %+v", len(cs), cs)
+	}
+	// Linear interpolation between (2,-1) and (4,1) crosses zero at x=3.
+	if math.Abs(cs[0].X-3) > 1e-12 || cs[0].I != 1 {
+		t.Fatalf("crossing at x=%v (I=%d), want x=3 (I=1)", cs[0].X, cs[0].I)
+	}
+	if !cs[0].Resolved {
+		t.Fatal("crossing with tight intervals not marked resolved")
+	}
+}
+
+func TestCrossoversUnresolvedWhenNoisy(t *testing.T) {
+	xs := []float64{0, 1}
+	deltas := []float64{-0.5, 0.5}
+	hws := []float64{0.6, 0.1} // left bracket's CI covers zero
+	cs := Crossovers(xs, deltas, hws)
+	if len(cs) != 1 || cs[0].Resolved {
+		t.Fatalf("want one unresolved crossing, got %+v", cs)
+	}
+	if cs = Crossovers(xs, deltas, nil); len(cs) != 1 || cs[0].Resolved {
+		t.Fatalf("nil half-widths must never resolve, got %+v", cs)
+	}
+}
+
+func TestCrossoversSkipsNaNAndHandlesZero(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{0, 1, 2, 3, 4}
+	deltas := []float64{-1, nan, 1, 0, -1}
+	cs := Crossovers(xs, deltas, nil)
+	if len(cs) != 2 {
+		t.Fatalf("found %d crossings, want 2: %+v", len(cs), cs)
+	}
+	// The first bridges the NaN gap: between (0,-1) and (2,1), at x=1.
+	if math.Abs(cs[0].X-1) > 1e-12 || cs[0].I != 0 {
+		t.Fatalf("first crossing at x=%v (I=%d), want x=1 (I=0)", cs[0].X, cs[0].I)
+	}
+	// The second is the exact zero at x=3; the following sign change
+	// against a zero delta is not double-counted.
+	if cs[1].X != 3 || cs[1].I != 3 {
+		t.Fatalf("second crossing at x=%v (I=%d), want x=3 (I=3)", cs[1].X, cs[1].I)
+	}
+}
+
+func TestCrossoversNoSignChange(t *testing.T) {
+	if cs := Crossovers([]float64{0, 1, 2}, []float64{1, 2, 3}, nil); len(cs) != 0 {
+		t.Fatalf("monotone positive deltas produced crossings: %+v", cs)
+	}
+	if cs := Crossovers(nil, nil, nil); len(cs) != 0 {
+		t.Fatalf("empty input produced crossings: %+v", cs)
+	}
+}

@@ -1,0 +1,215 @@
+// Package precision implements variance reduction and adaptive precision
+// for replicated simulation studies: sequential stopping (grow the
+// replication count geometrically until every requested measure reaches a
+// 95% half-width target), and paired policy comparison on common random
+// numbers with paired-t confidence intervals, variance-reduction reporting,
+// and crossover location for policy sweeps.
+//
+// Both entry points are deterministic for a fixed seed: batch boundaries
+// depend only on the spec (never on timing or worker scheduling), every
+// batch keeps per-replication values so aggregation runs in replication
+// order, and contiguous batches merge exactly. Running with 1 worker or 16
+// yields bit-identical results, and re-running the schedule from a
+// checkpoint reproduces it.
+package precision
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"ituaval/internal/sim"
+	"ituaval/internal/stats"
+)
+
+// Defaults for the sequential-stopping schedule.
+const (
+	DefaultInitialReps = 32
+	DefaultMaxReps     = 4096
+	DefaultGrowth      = 2.0
+)
+
+// Target requests a confidence-interval precision for one reward variable.
+// At least one of the two half-width targets must be positive; meeting
+// either satisfies the target (see stats.PrecisionMet, including the
+// degradation of the relative rule at mean ≈ 0).
+type Target struct {
+	// Var names the reward variable (sim Estimate name). In a paired
+	// comparison the target applies to the measure's delta.
+	Var string
+	// RelHW is the relative 95% half-width target: stop when
+	// hw <= RelHW·|mean|. Zero means not requested.
+	RelHW float64
+	// AbsHW is the absolute 95% half-width target: stop when hw <= AbsHW.
+	// Zero means not requested.
+	AbsHW float64
+}
+
+// Spec describes a sequentially-stopped study: the base simulation spec
+// plus the precision schedule. Sim.Reps is ignored — the schedule governs
+// how many replications run.
+type Spec struct {
+	// Sim is the base study. KeepPerRep is forced on; Quantiles are not
+	// supported (batches cannot merge them).
+	Sim sim.Spec
+	// Targets lists the measures that must reach their precision before
+	// stopping; every entry must name a variable of Sim.Vars.
+	Targets []Target
+	// InitialReps is the size of the first batch (default
+	// DefaultInitialReps; rounded up to even under Sim.Antithetic).
+	InitialReps int
+	// MaxReps bounds the total replication count (default DefaultMaxReps).
+	MaxReps int
+	// Growth is the geometric factor by which the cumulative replication
+	// count grows between precision checks (default DefaultGrowth; must
+	// exceed 1).
+	Growth float64
+}
+
+// Result is the outcome of a sequentially-stopped study.
+type Result struct {
+	// Results aggregates every batch that ran (merged exactly, as if the
+	// total had been requested up front in one call).
+	Results *sim.Results
+	// Batches is the number of batches executed.
+	Batches int
+	// Met reports whether every target was satisfied when the run stopped;
+	// false means the schedule hit MaxReps (or was interrupted) first.
+	Met bool
+}
+
+// normalize fills schedule defaults and validates the spec. It returns the
+// effective (initial, max, growth).
+func (s *Spec) normalize() (int, int, float64, error) {
+	initial, max, growth := s.InitialReps, s.MaxReps, s.Growth
+	if initial == 0 {
+		initial = DefaultInitialReps
+	}
+	if max == 0 {
+		max = DefaultMaxReps
+	}
+	if growth == 0 {
+		growth = DefaultGrowth
+	}
+	if initial < 1 {
+		return 0, 0, 0, fmt.Errorf("precision: InitialReps must be >= 1, got %d", initial)
+	}
+	if s.Sim.Antithetic && initial%2 != 0 {
+		initial++
+	}
+	if max < initial {
+		return 0, 0, 0, fmt.Errorf("precision: MaxReps %d below the initial batch %d", max, initial)
+	}
+	if s.Sim.Antithetic && max%2 != 0 {
+		return 0, 0, 0, fmt.Errorf("precision: MaxReps must be even under Antithetic, got %d", max)
+	}
+	if growth <= 1 {
+		return 0, 0, 0, fmt.Errorf("precision: Growth must exceed 1, got %v", growth)
+	}
+	if len(s.Sim.Quantiles) > 0 {
+		return 0, 0, 0, errors.New("precision: Quantiles are not supported (batches cannot merge them)")
+	}
+	return initial, max, growth, nil
+}
+
+// validateTargets checks that every target names a known variable and
+// requests at least one positive half-width.
+func validateTargets(targets []Target, known map[string]bool) error {
+	if len(targets) == 0 {
+		return errors.New("precision: at least one Target is required")
+	}
+	for _, t := range targets {
+		if !known[t.Var] {
+			return fmt.Errorf("precision: target names unknown variable %q", t.Var)
+		}
+		if t.RelHW < 0 || t.AbsHW < 0 {
+			return fmt.Errorf("precision: target %q has a negative half-width", t.Var)
+		}
+		if t.RelHW == 0 && t.AbsHW == 0 {
+			return fmt.Errorf("precision: target %q requests no precision", t.Var)
+		}
+	}
+	return nil
+}
+
+// nextBatch returns the size of the batch to run after total replications,
+// growing the cumulative count geometrically and clamping at max. even
+// forces an even batch (antithetic pairing); total and max are then even,
+// so the clamp preserves evenness.
+func nextBatch(total, initial, max int, growth float64, even bool) int {
+	n := initial
+	if total > 0 {
+		n = int(math.Ceil(float64(total) * (growth - 1)))
+		if n < 1 {
+			n = 1
+		}
+	}
+	if even && n%2 != 0 {
+		n++
+	}
+	if total+n > max {
+		n = max - total
+	}
+	return n
+}
+
+// Run executes the study in geometrically growing batches until every
+// target is met or MaxReps is reached. The merged results are identical to
+// a single run of the same total replication count, bit-for-bit, for any
+// worker count.
+//
+// Like sim.RunContext, Run returns partial results alongside the error when
+// the context is cancelled or a batch exceeds its failure tolerance.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	initial, max, growth, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(spec.Sim.Vars))
+	for _, v := range spec.Sim.Vars {
+		known[v.Name()] = true
+	}
+	if err := validateTargets(spec.Targets, known); err != nil {
+		return nil, err
+	}
+
+	s := spec.Sim
+	s.KeepPerRep = true
+	out := &Result{}
+	total := 0
+	for total < max {
+		s.FirstRep = spec.Sim.FirstRep + total
+		s.Reps = nextBatch(total, initial, max, growth, s.Antithetic)
+		batch, err := sim.RunContext(ctx, s)
+		if batch != nil {
+			if out.Results == nil {
+				out.Results = batch
+			} else if merr := out.Results.Merge(batch); merr != nil {
+				return out, merr
+			}
+			out.Batches++
+			total += s.Reps
+		}
+		if err != nil {
+			return out, err
+		}
+		if targetsMet(spec.Targets, out.Results) {
+			out.Met = true
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// targetsMet reports whether every target's estimate satisfies its
+// precision request.
+func targetsMet(targets []Target, res *sim.Results) bool {
+	for _, t := range targets {
+		est, ok := res.Get(t.Var)
+		if !ok || !stats.PrecisionMet(est.Mean, est.HalfWidth95, t.RelHW, t.AbsHW) {
+			return false
+		}
+	}
+	return true
+}

@@ -21,8 +21,14 @@ func splitmix64(x uint64) uint64 {
 
 // Stream is a xoshiro256** pseudo-random number generator. The zero value
 // is not usable; construct streams with New or Derive.
+//
+// A stream may be marked antithetic (see Antithetic): it then emits the
+// bitwise complement of the underlying xoshiro sequence, so every uniform
+// U becomes 1−U (up to one ulp) while the state evolution — and therefore
+// Derive and Role — is identical to its non-antithetic partner.
 type Stream struct {
 	s0, s1, s2, s3 uint64
+	anti           bool
 }
 
 // New returns a stream seeded from seed. Different seeds give streams that
@@ -49,12 +55,67 @@ func (s *Stream) Reseed(seed uint64) {
 // Derive returns a new stream independent of s, identified by id. Deriving
 // the same id from the same root stream always yields the same stream, which
 // gives per-replication reproducibility regardless of scheduling order.
+// The antithetic mark propagates to the derived stream.
 func (s *Stream) Derive(id uint64) *Stream {
 	// Mix the root state with the id through splitmix64 rather than
 	// consuming numbers from s, so derivation does not perturb s.
 	base := s.s0 ^ rotl(s.s2, 17)
-	return New(splitmix64(base ^ (id+1)*0x9e3779b97f4a7c15))
+	d := New(splitmix64(base ^ (id+1)*0x9e3779b97f4a7c15))
+	d.anti = s.anti
+	return d
 }
+
+// roleSalt separates the Role derivation domain from Derive, so that
+// Role(k) and Derive(k) of the same stream are independent.
+const roleSalt = 0xd1342543de82ef95
+
+// Role returns the substream of s for the stochastic role identified by k.
+// Roles partition a replication's randomness by purpose (one activity's
+// firing delays, one host's detection trials, a placement draw), which is
+// what makes common random numbers work: two model variants that derive
+// the same role from the same replication stream consume the same uniforms
+// for the same purpose, no matter how their event interleavings differ.
+// Like Derive, Role does not perturb s and propagates the antithetic mark.
+func (s *Stream) Role(k uint64) *Stream {
+	base := s.s0 ^ rotl(s.s2, 17)
+	d := New(splitmix64(base ^ roleSalt ^ (k+1)*0x9e3779b97f4a7c15))
+	d.anti = s.anti
+	return d
+}
+
+// RoleNamed is Role(RoleKey(name)).
+func (s *Stream) RoleNamed(name string) *Stream { return s.Role(RoleKey(name)) }
+
+// RoleKey hashes a stable role name (usually an activity or entity name)
+// to a role id for Role, using FNV-1a. Names are model-stable across
+// configuration variants, which is exactly the property common-random-number
+// pairing needs.
+func RoleKey(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Antithetic returns the antithetic partner of s: a stream with identical
+// state whose every uniform draw is the complement 1−U of s's draw (via
+// bitwise complement of the raw 64-bit output, exact to one ulp). Applying
+// it twice returns to the original orientation. The partner shares no state
+// with s — advancing one does not advance the other.
+func (s *Stream) Antithetic() *Stream {
+	t := *s
+	t.anti = !t.anti
+	return &t
+}
+
+// IsAntithetic reports whether the stream emits complemented uniforms.
+func (s *Stream) IsAntithetic() bool { return s.anti }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
@@ -68,6 +129,9 @@ func (s *Stream) Uint64() uint64 {
 	s.s0 ^= s.s3
 	s.s2 ^= t
 	s.s3 = rotl(s.s3, 45)
+	if s.anti {
+		return ^result
+	}
 	return result
 }
 

@@ -61,6 +61,22 @@ type Engine struct {
 	rand     *rng.Stream
 	validate bool
 
+	// Common-random-numbers mode (UseCRN): instead of drawing every variate
+	// from the single replication stream in event-execution order, each
+	// stochastic role — an activity's firing delays, case choices, and
+	// effect draws; the initialization hook; the instantaneous race — gets
+	// its own substream derived from the replication stream by the stable
+	// hash of the activity's name. Two model variants that share activity
+	// names then consume identical randomness for identical roles however
+	// their event interleavings differ, which is what makes paired
+	// (CRN-synchronized) policy comparisons sharp.
+	crn         bool
+	roleKeys    []uint64      // per activity ID: rng.RoleKey(activity name)
+	roleStreams []*rng.Stream // per activity ID, lazily derived per replication
+	repRoot     *rng.Stream   // the replication stream roles derive from
+	initStream  *rng.Stream   // role for the init hook + initial stabilization
+	raceStream  *rng.Stream   // role for instantaneous-activity races
+
 	// candidate deduplication between stabilization rounds
 	stamp    []uint64
 	curStamp uint64
@@ -82,6 +98,38 @@ func NewEngine(model *san.Model, validate bool) *Engine {
 		stamp:    make([]uint64, len(model.Activities())),
 		validate: validate,
 	}
+}
+
+// UseCRN switches the engine between single-stream sampling (the default,
+// bit-compatible with all prior results) and role-indexed substreams for
+// common random numbers. Call it before RunOnce; the mode is sticky.
+func (e *Engine) UseCRN(on bool) {
+	e.crn = on
+	if !on || e.roleKeys != nil {
+		return
+	}
+	acts := e.model.Activities()
+	e.roleKeys = make([]uint64, len(acts))
+	for _, a := range acts {
+		e.roleKeys[a.ID()] = rng.RoleKey(a.Name())
+	}
+	e.roleStreams = make([]*rng.Stream, len(acts))
+}
+
+// randFor returns the stream an activity's variates come from: the shared
+// replication stream normally, or the activity's role substream under CRN
+// (derived on first use each replication, so the cost of unused roles is
+// zero and the consumption order within a role is trajectory-independent).
+func (e *Engine) randFor(a *san.Activity) *rng.Stream {
+	if !e.crn {
+		return e.rand
+	}
+	st := e.roleStreams[a.ID()]
+	if st == nil {
+		st = e.repRoot.Role(e.roleKeys[a.ID()])
+		e.roleStreams[a.ID()] = st
+	}
+	return st
 }
 
 // State exposes the engine's current state (for observers and tests).
@@ -131,7 +179,7 @@ func (e *Engine) checkTrace(a *san.Activity, what string) {
 
 // sample schedules a fresh completion for a (assumed enabled).
 func (e *Engine) sample(a *san.Activity, d rng.Dist) {
-	delay := d.Sample(e.rand)
+	delay := d.Sample(e.randFor(a))
 	if delay < 0 {
 		delay = 0
 	}
@@ -248,6 +296,14 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 		return err
 	}
 	e.rand = stream
+	if e.crn {
+		e.repRoot = stream
+		for i := range e.roleStreams {
+			e.roleStreams[i] = nil
+		}
+		e.initStream = stream.RoleNamed("__init__")
+		e.raceStream = stream.RoleNamed("__race__")
+	}
 	e.now = 0
 	e.firings = 0
 	e.heap = e.heap[:0]
@@ -259,6 +315,9 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 	e.state.CopyFrom(fresh)
 
 	ctx := &san.Context{State: e.state, Rand: e.rand, Now: 0}
+	if e.crn {
+		ctx.Rand = e.initStream
+	}
 	if init := e.model.Init(); init != nil {
 		init(ctx)
 	}
@@ -297,6 +356,7 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 			e.now = ev.time
 		}
 		ctx.Now = e.now
+		ctx.Rand = e.randFor(ev.act)
 
 		caseIdx := ev.act.ChooseCase(ctx)
 		ev.act.Fire(ctx, caseIdx)
@@ -319,8 +379,13 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 				for i, en := range enabled {
 					weights[i] = en.Weight()
 				}
-				a = enabled[e.rand.Category(weights)]
+				race := e.rand
+				if e.crn {
+					race = e.raceStream
+				}
+				a = enabled[race.Category(weights)]
 			}
+			ctx.Rand = e.randFor(a)
 			ci := a.ChooseCase(ctx)
 			a.Fire(ctx, ci)
 			e.firings++

@@ -107,14 +107,15 @@ func classifyFailure(seed uint64, rep int, err error) *ReplicationError {
 // Replay re-executes a single replication of the study described by spec,
 // serially in the calling goroutine, and returns the failure it reproduces
 // (nil if the replication completes cleanly). Use it to debug a failure
-// recorded in Results.Failures: the replication index and root seed fully
-// determine the trajectory.
+// recorded in Results.Failures: the absolute replication index, the root
+// seed, and the spec's CRN/Antithetic mode fully determine the trajectory.
 func Replay(spec Spec, rep int) *ReplicationError {
 	if spec.Model == nil || !spec.Model.Finalized() {
 		return &ReplicationError{Rep: rep, Seed: spec.Seed, Kind: FailureModel,
 			Err: errors.New("sim: Spec.Model must be a finalized model")}
 	}
 	eng := NewEngine(spec.Model, spec.Validate)
-	_, _, ferr := runReplication(context.Background(), eng, &spec, rng.New(spec.Seed).Derive(uint64(rep)), rep)
+	eng.UseCRN(spec.CRN)
+	_, _, ferr := runReplication(context.Background(), eng, &spec, repStream(&spec, rng.New(spec.Seed), rep), rep)
 	return ferr
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -56,6 +57,54 @@ type Spec struct {
 	// failures at all. Estimates always aggregate the surviving
 	// replications only — see Results for the bias caveat.
 	MaxFailureFrac float64
+	// CRN enables common-random-numbers mode: every stochastic role (one
+	// activity's firing delays, case choices and effect draws; the
+	// initialization hook; instantaneous races) samples from its own
+	// substream derived from the replication stream by the stable hash of
+	// the role's name. Two model variants sharing activity names then
+	// consume identical randomness for identical roles regardless of how
+	// their event interleavings differ — the substrate for paired policy
+	// comparison. Results stay deterministic for a fixed seed but are not
+	// bit-compatible with non-CRN runs of the same seed.
+	CRN bool
+	// Antithetic couples replications in pairs: absolute indices (2p,
+	// 2p+1) use the same derived stream with opposite orientation (the odd
+	// partner complements every uniform, U -> 1-U). Estimates aggregate
+	// pair means — negatively correlated partners cancel variance — so
+	// Estimate.N counts pairs, and a pair with a failed member contributes
+	// nothing. Implies KeepPerRep; requires FirstRep and Reps even and no
+	// Quantiles.
+	Antithetic bool
+	// KeepPerRep retains one summary value per replication and variable
+	// (the mean of the replication's observations; NaN if it failed, was
+	// skipped, or emitted none) in Results.PerRep — the substrate for
+	// paired comparison and sequential stopping. Aggregation then runs in
+	// replication order, making estimates bit-identical across worker
+	// counts, and Results.Merge can fold contiguous batches together.
+	KeepPerRep bool
+	// FirstRep is the absolute index of the first replication of this
+	// batch (default 0). Replication j of the batch uses the stream
+	// derived from absolute index FirstRep+j, so running [0,n) in one call
+	// or in several contiguous batches merged with Results.Merge yields
+	// identical per-replication trajectories.
+	FirstRep int
+}
+
+// perRep reports whether the spec needs per-replication values retained.
+func (s *Spec) perRep() bool { return s.KeepPerRep || s.Antithetic }
+
+// repStream derives the random stream of the replication with absolute
+// index rep. It is the single point coupling the runner, Replay, and the
+// antithetic pairing, so all three stay bit-identical.
+func repStream(spec *Spec, root *rng.Stream, rep int) *rng.Stream {
+	if spec.Antithetic {
+		st := root.Derive(uint64(rep / 2))
+		if rep%2 == 1 {
+			st = st.Antithetic()
+		}
+		return st
+	}
+	return root.Derive(uint64(rep))
 }
 
 // Estimate is the aggregated result for one reward variable.
@@ -107,7 +156,82 @@ type Results struct {
 	// Failures records every failed replication, ordered by Rep. Each entry
 	// names the replication index and root seed that reproduce it.
 	Failures []ReplicationError
+	// PerRep, present when Spec.KeepPerRep or Spec.Antithetic was set,
+	// holds one summary value per variable (outer index, order of
+	// Spec.Vars) and replication of this batch (inner index; absolute
+	// index FirstRep + j): the mean of that replication's observations, or
+	// NaN if the replication failed, was skipped, or emitted none.
+	PerRep [][]float64
+	// FirstRep is the absolute index of the first replication of this
+	// batch (Spec.FirstRep).
+	FirstRep int
 	byName   map[string]*Estimate
+	// accums carries the per-variable aggregation state when PerRep is
+	// kept, enabling exact Merge of contiguous batches.
+	accums []*stats.Accumulator
+	// quantiles remembers Spec.Quantiles (Merge rejects them).
+	quantiles bool
+}
+
+// Merge folds another batch of the same study into r: counts, failures,
+// firings, per-replication values, and the estimate accumulators combine
+// exactly. Both results must retain per-replication state (Spec.KeepPerRep
+// or Spec.Antithetic) and s must be the batch immediately following r
+// (s.FirstRep == r.FirstRep + r.Reps), so the merged PerRep stays a dense
+// contiguous range. Quantiles cannot be merged.
+func (r *Results) Merge(s *Results) error {
+	if r.accums == nil || s.accums == nil {
+		return errors.New("sim: Merge requires results run with KeepPerRep")
+	}
+	if r.quantiles || s.quantiles {
+		return errors.New("sim: cannot merge results with quantiles")
+	}
+	if len(r.Estimates) != len(s.Estimates) {
+		return fmt.Errorf("sim: merging %d variables into %d", len(s.Estimates), len(r.Estimates))
+	}
+	for i := range r.Estimates {
+		if r.Estimates[i].Name != s.Estimates[i].Name {
+			return fmt.Errorf("sim: merging variable %q into %q", s.Estimates[i].Name, r.Estimates[i].Name)
+		}
+	}
+	if s.FirstRep != r.FirstRep+r.Reps {
+		return fmt.Errorf("sim: merging batch starting at rep %d onto batch ending at %d",
+			s.FirstRep, r.FirstRep+r.Reps)
+	}
+	for i := range r.accums {
+		r.accums[i].Merge(s.accums[i])
+		r.PerRep[i] = append(r.PerRep[i], s.PerRep[i]...)
+	}
+	r.TotalFirings += s.TotalFirings
+	r.Reps += s.Reps
+	r.Completed += s.Completed
+	r.Failed += s.Failed
+	r.Skipped += s.Skipped
+	r.Failures = append(r.Failures, s.Failures...)
+	sort.Slice(r.Failures, func(i, j int) bool { return r.Failures[i].Rep < r.Failures[j].Rep })
+	r.finalizeEstimates()
+	return nil
+}
+
+// finalizeEstimates rebuilds Estimates and the name index from accums,
+// preserving per-variable Quantiles already present.
+func (r *Results) finalizeEstimates() {
+	for i := range r.Estimates {
+		a := r.accums[i]
+		est := &r.Estimates[i]
+		est.N = a.N()
+		est.Mean, est.HalfWidth95, est.Min, est.Max = 0, 0, 0, 0
+		if a.N() > 0 {
+			est.Mean, est.Min, est.Max = a.Mean(), a.Min(), a.Max()
+		}
+		if a.N() >= 2 {
+			est.HalfWidth95 = a.HalfWidth(0.95)
+		}
+	}
+	r.byName = make(map[string]*Estimate, len(r.Estimates))
+	for i := range r.Estimates {
+		r.byName[r.Estimates[i].Name] = &r.Estimates[i]
+	}
 }
 
 // Attempted returns the number of replications actually attempted
@@ -199,6 +323,18 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 	if spec.Until <= 0 {
 		return nil, fmt.Errorf("sim: Until must be > 0, got %v", spec.Until)
 	}
+	if spec.FirstRep < 0 {
+		return nil, fmt.Errorf("sim: FirstRep must be >= 0, got %d", spec.FirstRep)
+	}
+	if spec.Antithetic {
+		if spec.FirstRep%2 != 0 || spec.Reps%2 != 0 {
+			return nil, fmt.Errorf("sim: Antithetic requires even FirstRep and Reps, got %d and %d",
+				spec.FirstRep, spec.Reps)
+		}
+		if len(spec.Quantiles) > 0 {
+			return nil, errors.New("sim: Antithetic cannot be combined with Quantiles")
+		}
+	}
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -208,6 +344,7 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 	}
 
 	root := rng.New(spec.Seed)
+	keepPer := spec.perRep()
 	type workerResult struct {
 		accums    []*stats.Accumulator
 		samples   [][]float64
@@ -217,20 +354,33 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 		failures  []ReplicationError
 	}
 	results := make([]workerResult, workers)
+	// In per-replication mode the workers publish each replication's
+	// observations into a shared slice indexed by batch-local replication
+	// (disjoint writes, no lock), and aggregation runs afterwards in
+	// replication order — the order is then independent of the worker
+	// count, which is what makes per-rep results bit-identical across
+	// parallelism levels. nil marks a failed or skipped replication.
+	var repVals [][][]float64
+	if keepPer {
+		repVals = make([][][]float64, spec.Reps)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			res := &results[w]
-			res.accums = make([]*stats.Accumulator, len(spec.Vars))
-			for i := range res.accums {
-				res.accums[i] = &stats.Accumulator{}
-			}
-			if len(spec.Quantiles) > 0 {
-				res.samples = make([][]float64, len(spec.Vars))
+			if !keepPer {
+				res.accums = make([]*stats.Accumulator, len(spec.Vars))
+				for i := range res.accums {
+					res.accums[i] = &stats.Accumulator{}
+				}
+				if len(spec.Quantiles) > 0 {
+					res.samples = make([][]float64, len(spec.Vars))
+				}
 			}
 			eng := NewEngine(spec.Model, spec.Validate)
+			eng.UseCRN(spec.CRN)
 			for rep := w; rep < spec.Reps; rep += workers {
 				if ctx.Err() != nil {
 					// Count this and every remaining strided replication
@@ -238,7 +388,8 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 					res.skipped += (spec.Reps - rep + workers - 1) / workers
 					return
 				}
-				vals, firings, ferr := runReplication(ctx, eng, &spec, root.Derive(uint64(rep)), rep)
+				abs := spec.FirstRep + rep
+				vals, firings, ferr := runReplication(ctx, eng, &spec, repStream(&spec, root, abs), abs)
 				if ferr != nil {
 					if errors.Is(ferr.Err, context.Canceled) {
 						// The study context was cancelled mid-replication:
@@ -251,6 +402,10 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 				}
 				res.completed++
 				res.firings += firings
+				if keepPer {
+					repVals[rep] = vals
+					continue
+				}
 				for i, xs := range vals {
 					for _, x := range xs {
 						res.accums[i].Add(x)
@@ -264,7 +419,8 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 	}
 	wg.Wait()
 
-	out := &Results{Reps: spec.Reps, byName: make(map[string]*Estimate, len(spec.Vars))}
+	out := &Results{Reps: spec.Reps, FirstRep: spec.FirstRep,
+		quantiles: len(spec.Quantiles) > 0, byName: make(map[string]*Estimate, len(spec.Vars))}
 	merged := make([]*stats.Accumulator, len(spec.Vars))
 	for i := range merged {
 		merged[i] = &stats.Accumulator{}
@@ -278,10 +434,61 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 		out.Completed += results[w].completed
 		out.Skipped += results[w].skipped
 		out.Failures = append(out.Failures, results[w].failures...)
+		if keepPer {
+			continue
+		}
 		for i := range merged {
 			merged[i].Merge(results[w].accums[i])
 			if pooled != nil && results[w].samples != nil {
 				pooled[i] = append(pooled[i], results[w].samples[i]...)
+			}
+		}
+	}
+	if keepPer {
+		out.PerRep = make([][]float64, len(spec.Vars))
+		for i := range out.PerRep {
+			row := make([]float64, spec.Reps)
+			for j := range row {
+				row[j] = math.NaN()
+			}
+			out.PerRep[i] = row
+		}
+		for j := 0; j < spec.Reps; j++ {
+			vals := repVals[j]
+			if vals == nil {
+				continue
+			}
+			for i, xs := range vals {
+				if len(xs) > 0 {
+					sum := 0.0
+					for _, x := range xs {
+						sum += x
+					}
+					out.PerRep[i][j] = sum / float64(len(xs))
+				}
+				if spec.Antithetic {
+					continue // aggregated below, by pair
+				}
+				for _, x := range xs {
+					merged[i].Add(x)
+				}
+				if pooled != nil {
+					pooled[i] = append(pooled[i], xs...)
+				}
+			}
+		}
+		if spec.Antithetic {
+			// One observation per complete pair: the mean of the two
+			// partners' replication means. Pairs with a failed, skipped,
+			// or observation-less member contribute nothing.
+			for i := range spec.Vars {
+				row := out.PerRep[i]
+				for p := 0; p+1 < spec.Reps; p += 2 {
+					a, b := row[p], row[p+1]
+					if !math.IsNaN(a) && !math.IsNaN(b) {
+						merged[i].Add((a + b) / 2)
+					}
+				}
 			}
 		}
 	}
@@ -303,6 +510,9 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 			}
 		}
 		out.Estimates = append(out.Estimates, est)
+	}
+	if keepPer {
+		out.accums = merged
 	}
 	for i := range out.Estimates {
 		out.byName[out.Estimates[i].Name] = &out.Estimates[i]

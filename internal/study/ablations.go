@@ -38,7 +38,7 @@ func CrossValidation(ctx context.Context, cfg Config) (*Figure, error) {
 		p.NumApps = 3
 		p.RepsPerApp = 4
 		p.Policy = policy
-		est, err := point(ctx, cfg, p, T, uint64(4000+i), func(m *core.Model) []reward.Var {
+		pr, err := point(ctx, cfg, p, T, uint64(4000+i), func(m *core.Model) []reward.Var {
 			return []reward.Var{
 				m.Unavailability("unavail", 0, 0, T),
 				m.Unreliability("unrel", 0, T),
@@ -49,9 +49,9 @@ func CrossValidation(ctx context.Context, cfg Config) (*Figure, error) {
 			return nil, err
 		}
 		x := float64(i + 1)
-		appendPoint(&sanS[0], x, est["unavail"])
-		appendPoint(&sanS[1], x, est["unrel"])
-		appendPoint(&sanS[2], x, est["excl"])
+		appendPoint(&sanS[0], x, "unavail", pr)
+		appendPoint(&sanS[1], x, "unrel", pr)
+		appendPoint(&sanS[2], x, "excl", pr)
 
 		var unavail, unrel, excl stats.Accumulator
 		root := rng.New(cfg.Seed + uint64(4100+i))
@@ -69,9 +69,8 @@ func CrossValidation(ctx context.Context, cfg Config) (*Figure, error) {
 			excl.Add(res.FracDomainsExcluded[0])
 		}
 		for j, acc := range []*stats.Accumulator{&unavail, &unrel, &excl} {
-			dirS[j].X = append(dirS[j].X, x)
-			dirS[j].Y = append(dirS[j].Y, acc.Mean())
-			dirS[j].HW = append(dirS[j].HW, acc.HalfWidth(0.95))
+			appendCell(&dirS[j], x, acc.Mean(), acc.HalfWidth(0.95), acc.N(),
+				cfg.Reps, cfg.Reps, 0, 0)
 		}
 	}
 	for i := range panels {
@@ -155,9 +154,7 @@ func NumericalValidation(ctx context.Context, cfg Config) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		numS.X = append(numS.X, t)
-		numS.Y = append(numS.Y, want)
-		numS.HW = append(numS.HW, 0)
+		appendCell(&numS, t, want, 0, 0, 0, 0, 0, 0)
 
 		res, err := sim.RunContext(ctx, sim.Spec{
 			Model: m, Until: t, Reps: cfg.Reps, Seed: cfg.Seed + 4200, Workers: cfg.Workers,
@@ -167,7 +164,7 @@ func NumericalValidation(ctx context.Context, cfg Config) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		appendPoint(&simS, t, res.MustGet("u"))
+		appendPoint(&simS, t, "u", newPointResult(res))
 	}
 	fig.Panels = []Panel{{
 		ID: "X2", Measure: fmt.Sprintf("Time-averaged improper-service indicator (T up to %g)", T),
@@ -194,7 +191,7 @@ func AblationDetectionRate(ctx context.Context, cfg Config) (*Figure, error) {
 		p.HostDetectRate = rate
 		p.ReplicaDetectRate = rate
 		p.MgrDetectRate = rate
-		est, err := point(ctx, cfg, p, T, uint64(4300+i), func(m *core.Model) []reward.Var {
+		pr, err := point(ctx, cfg, p, T, uint64(4300+i), func(m *core.Model) []reward.Var {
 			return []reward.Var{
 				m.Unavailability("u", 0, 0, T),
 				m.Unreliability("r", 0, T),
@@ -204,9 +201,9 @@ func AblationDetectionRate(ctx context.Context, cfg Config) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		appendPoint(&unavail, rate, est["u"])
-		appendPoint(&unrel, rate, est["r"])
-		appendPoint(&excl, rate, est["e"])
+		appendPoint(&unavail, rate, "u", pr)
+		appendPoint(&unrel, rate, "r", pr)
+		appendPoint(&excl, rate, "e", pr)
 	}
 	fig.Panels = []Panel{{ID: "X3", Measure: "Measures vs IDS rate (12×1 hosts, 4 apps)",
 		XLabel: "detection rate (1/h)", Series: []Series{unavail, unrel, excl}}}
@@ -228,7 +225,7 @@ func AblationRateSplit(ctx context.Context, cfg Config) (*Figure, error) {
 		p.NumApps = 4
 		p.RepsPerApp = 7
 		p.AttackSplitReplica = wr
-		est, err := point(ctx, cfg, p, T, uint64(4400+i), func(m *core.Model) []reward.Var {
+		pr, err := point(ctx, cfg, p, T, uint64(4400+i), func(m *core.Model) []reward.Var {
 			return []reward.Var{
 				m.Unavailability("u", 0, 0, T),
 				m.Unreliability("r", 0, T),
@@ -237,8 +234,8 @@ func AblationRateSplit(ctx context.Context, cfg Config) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		appendPoint(&unavail, wr, est["u"])
-		appendPoint(&unrel, wr, est["r"])
+		appendPoint(&unavail, wr, "u", pr)
+		appendPoint(&unrel, wr, "r", pr)
 	}
 	fig.Panels = []Panel{{ID: "X4", Measure: "Measures vs replica attack weight (12×1 hosts)",
 		XLabel: "AttackSplitReplica", Series: []Series{unavail, unrel}}}
@@ -270,7 +267,7 @@ func AblationConviction(ctx context.Context, cfg Config) (*Figure, error) {
 			p.NumApps = 4
 			p.RepsPerApp = 7
 			p.ExcludeOnReplicaConviction = excludeOnConviction
-			est, err := point(ctx, cfg, p, T, uint64(4500+pi), func(m *core.Model) []reward.Var {
+			pr, err := point(ctx, cfg, p, T, uint64(4500+pi), func(m *core.Model) []reward.Var {
 				return []reward.Var{
 					m.Unavailability("u", 0, 0, T),
 					m.FracDomainsExcluded("e", T),
@@ -279,8 +276,8 @@ func AblationConviction(ctx context.Context, cfg Config) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			appendPoint(&su, float64(hpd), est["u"])
-			appendPoint(&se, float64(hpd), est["e"])
+			appendPoint(&su, float64(hpd), "u", pr)
+			appendPoint(&se, float64(hpd), "e", pr)
 		}
 		panels[0].Series = append(panels[0].Series, su)
 		panels[1].Series = append(panels[1].Series, se)
@@ -330,7 +327,7 @@ func AblationPlacement(ctx context.Context, cfg Config) (*Figure, error) {
 			p.CorruptionMult = 5
 			p.DomainSpreadRate = spread
 			p.Placement = placement
-			est, err := point(ctx, cfg, p, T, uint64(4600+pi), func(m *core.Model) []reward.Var {
+			pr, err := point(ctx, cfg, p, T, uint64(4600+pi), func(m *core.Model) []reward.Var {
 				return []reward.Var{
 					m.Unavailability("u", 0, 0, T),
 					m.LoadPerHost("load", T),
@@ -339,8 +336,8 @@ func AblationPlacement(ctx context.Context, cfg Config) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			appendPoint(&su, spread, est["u"])
-			appendPoint(&sl, spread, est["load"])
+			appendPoint(&su, spread, "u", pr)
+			appendPoint(&sl, spread, "load", pr)
 		}
 		panels[0].Series = append(panels[0].Series, su)
 		panels[1].Series = append(panels[1].Series, sl)

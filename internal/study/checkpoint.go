@@ -10,13 +10,14 @@ import (
 	"sync"
 
 	"ituaval/internal/core"
-	"ituaval/internal/sim"
 )
 
 // checkpointVersion is bumped whenever the on-disk format or the point-key
 // derivation changes incompatibly; mismatched files are rejected rather
-// than silently producing wrong resumes.
-const checkpointVersion = 1
+// than silently producing wrong resumes. Version 2 stores full PointResult
+// values (estimates plus replication accounting) and fingerprints the
+// precision targets in the point key.
+const checkpointVersion = 2
 
 // Checkpoint persists completed sweep points so an interrupted study can
 // resume without recomputation. After every sweep point the whole
@@ -25,21 +26,21 @@ const checkpointVersion = 1
 // torn one.
 //
 // Resume is exact, not approximate: a point's key fingerprints the full
-// simulation spec (model parameters, horizon, replication count, and the
-// effective root seed), and replication seeds are derived per-replication
-// from the root seed, so a resumed study is bit-identical to an
-// uninterrupted one.
+// simulation spec (model parameters, horizon, replication schedule —
+// including any sequential precision targets — and the effective root
+// seed), and replication seeds are derived per-replication from the root
+// seed, so a resumed study is bit-identical to an uninterrupted one.
 type Checkpoint struct {
 	mu     sync.Mutex
 	path   string
-	points map[string]map[string]sim.Estimate
+	points map[string]*PointResult
 	onSave func() // test hook, called after each successful save
 }
 
 // checkpointFile is the JSON schema of the on-disk checkpoint.
 type checkpointFile struct {
-	Version int                                `json:"version"`
-	Points  map[string]map[string]sim.Estimate `json:"points"`
+	Version int                     `json:"version"`
+	Points  map[string]*PointResult `json:"points"`
 }
 
 // OpenCheckpoint opens a checkpoint backed by path. With resume true, an
@@ -48,7 +49,7 @@ type checkpointFile struct {
 // scratch). With resume false the checkpoint starts empty and the file is
 // replaced at the first completed point.
 func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
-	ck := &Checkpoint{path: path, points: make(map[string]map[string]sim.Estimate)}
+	ck := &Checkpoint{path: path, points: make(map[string]*PointResult)}
 	if !resume {
 		return ck, nil
 	}
@@ -79,19 +80,19 @@ func (c *Checkpoint) Len() int {
 	return len(c.points)
 }
 
-// lookup returns the stored estimates for a point key, if present.
-func (c *Checkpoint) lookup(key string) (map[string]sim.Estimate, bool) {
+// lookup returns the stored point for a key, if present.
+func (c *Checkpoint) lookup(key string) (*PointResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	est, ok := c.points[key]
-	return est, ok
+	pr, ok := c.points[key]
+	return pr, ok
 }
 
 // store records a completed point and rewrites the checkpoint file
 // atomically.
-func (c *Checkpoint) store(key string, est map[string]sim.Estimate) error {
+func (c *Checkpoint) store(key string, pr *PointResult) error {
 	c.mu.Lock()
-	c.points[key] = est
+	c.points[key] = pr
 	err := c.save()
 	c.mu.Unlock()
 	if err != nil {
@@ -132,16 +133,38 @@ func (c *Checkpoint) save() error {
 	return nil
 }
 
+// precKey encodes the replication schedule of a point: the fixed count, or
+// the sequential precision targets and cap when precision mode is on. Two
+// configs with equal schedules produce equal results for equal seeds.
+func precKey(cfg Config) string {
+	if !cfg.precisionMode() {
+		return fmt.Sprintf("reps=%d", cfg.Reps)
+	}
+	return fmt.Sprintf("reps=%d|rel=%g|abs=%g|max=%d",
+		cfg.Reps, cfg.TargetRelHW, cfg.TargetAbsHW, cfg.MaxReps)
+}
+
 // pointKey fingerprints everything that determines a sweep point's result:
-// the model parameters, the horizon, the replication count, and the
+// the model parameters, the horizon, the replication schedule, and the
 // effective root seed. Two points with equal keys are guaranteed equal
 // results, which is what makes resume exact.
 func pointKey(cfg Config, p core.Params, until float64, seedOffset uint64) string {
+	return fmt.Sprintf("v%d|%s|seed=%d|until=%g|params=%s",
+		checkpointVersion, precKey(cfg), cfg.Seed+seedOffset, until, paramsJSON(p))
+}
+
+// pairedPointKey fingerprints a CRN-paired sweep point: both parameter
+// sets plus the shared schedule and seed.
+func pairedPointKey(cfg Config, a, b core.Params, until float64, seedOffset uint64) string {
+	return fmt.Sprintf("v%d|paired|%s|seed=%d|until=%g|a=%s|b=%s",
+		checkpointVersion, precKey(cfg), cfg.Seed+seedOffset, until, paramsJSON(a), paramsJSON(b))
+}
+
+func paramsJSON(p core.Params) []byte {
 	pj, err := json.Marshal(p)
 	if err != nil {
 		// core.Params is a struct of scalars; Marshal cannot fail on it.
 		panic(fmt.Sprintf("study: marshaling params: %v", err))
 	}
-	return fmt.Sprintf("v%d|reps=%d|seed=%d|until=%g|params=%s",
-		checkpointVersion, cfg.Reps, cfg.Seed+seedOffset, until, pj)
+	return pj
 }

@@ -9,15 +9,16 @@ import (
 	"testing"
 )
 
-// TestCheckpointResume interrupts a sweep after two completed points, then
-// resumes it from the checkpoint file and requires the resumed figure to be
+// testResume interrupts runner after two completed points, then resumes it
+// from the checkpoint file and requires the resumed figure to be
 // bit-identical to an uninterrupted run — the acceptance criterion for the
 // whole checkpoint/resume design (replication seeds are derived per point
-// and per replication from the root seed, so skipping completed points
-// changes nothing downstream).
-func TestCheckpointResume(t *testing.T) {
-	cfg := Config{Reps: 60, Seed: 11, Workers: 2}
-	ref, err := AblationDetectionRate(context.Background(), cfg)
+// and per replication from the root seed, and any sequential precision
+// schedule depends only on the spec, so skipping completed points changes
+// nothing downstream).
+func testResume(t *testing.T, runner Runner, cfg Config, totalPoints int) {
+	t.Helper()
+	ref, err := runner(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,15 +37,15 @@ func TestCheckpointResume(t *testing.T) {
 	}
 	interruptedCfg := cfg
 	interruptedCfg.Checkpoint = ck
-	if _, err := AblationDetectionRate(ctx, interruptedCfg); !errors.Is(err, context.Canceled) {
+	if _, err := runner(ctx, interruptedCfg); !errors.Is(err, context.Canceled) {
 		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
 	}
 	done := ck.Len()
 	if done < 2 {
 		t.Fatalf("only %d points checkpointed before cancellation", done)
 	}
-	if done >= 6 {
-		t.Fatal("all 6 points completed; cancellation never took effect")
+	if done >= totalPoints {
+		t.Fatalf("all %d points completed; cancellation never took effect", totalPoints)
 	}
 
 	ck2, err := OpenCheckpoint(path, true)
@@ -56,16 +57,38 @@ func TestCheckpointResume(t *testing.T) {
 	}
 	resumedCfg := cfg
 	resumedCfg.Checkpoint = ck2
-	got, err := AblationDetectionRate(context.Background(), resumedCfg)
+	got, err := runner(context.Background(), resumedCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(ref, got) {
 		t.Fatalf("resumed figure differs from uninterrupted run:\nref: %+v\ngot: %+v", ref, got)
 	}
-	if ck2.Len() != 6 {
-		t.Fatalf("resumed run checkpointed %d points, want all 6", ck2.Len())
+	if ck2.Len() != totalPoints {
+		t.Fatalf("resumed run checkpointed %d points, want all %d", ck2.Len(), totalPoints)
 	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	testResume(t, AblationDetectionRate, Config{Reps: 60, Seed: 11, Workers: 2}, 6)
+}
+
+// TestCheckpointResumePrecision is the precision-mode variant: every sweep
+// point grows its replication count sequentially toward a relative
+// half-width target, and an interrupted sweep must still resume
+// bit-identically (the batch schedule depends only on the spec, never on
+// timing or which points were restored).
+func TestCheckpointResumePrecision(t *testing.T) {
+	cfg := Config{Reps: 40, Seed: 11, Workers: 2, TargetRelHW: 0.25, MaxReps: 640}
+	testResume(t, AblationDetectionRate, cfg, 6)
+}
+
+// TestCheckpointResumePaired covers the CRN-paired sweep: a paired point
+// flattens a two-configuration comparison into one checkpoint entry, and
+// resume must restore deltas, marginals, correlations, and replication
+// accounting bit-identically.
+func TestCheckpointResumePaired(t *testing.T) {
+	testResume(t, Fig5Paired, Config{Reps: 48, Seed: 11, Workers: 2}, 6)
 }
 
 // TestCheckpointSkipsSimulation verifies a fully checkpointed study is

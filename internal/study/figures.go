@@ -3,9 +3,12 @@ package study
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"ituaval/internal/core"
+	"ituaval/internal/precision"
 	"ituaval/internal/reward"
+	"ituaval/internal/sim"
 )
 
 // Fig3HostsPerDomain are the sweep points of study 1: 12 hosts distributed
@@ -46,7 +49,7 @@ func Fig3(ctx context.Context, cfg Config) (*Figure, error) {
 			// the number of applications".
 			p.RateBaseHosts = 12
 			p.RateBaseReplicas = 28
-			est, err := point(ctx, cfg, p, T, uint64(1000*apps+pi),
+			pr, err := point(ctx, cfg, p, T, uint64(1000*apps+pi),
 				func(m *core.Model) []reward.Var {
 					return []reward.Var{
 						m.Unavailability("unavail", 0, 0, T),
@@ -59,10 +62,10 @@ func Fig3(ctx context.Context, cfg Config) (*Figure, error) {
 				return nil, fmt.Errorf("fig3 apps=%d hpd=%d: %w", apps, hpd, err)
 			}
 			x := float64(hpd)
-			appendPoint(&series[0], x, est["unavail"])
-			appendPoint(&series[1], x, est["unrel"])
-			appendPoint(&series[2], x, est["corrfrac"])
-			appendPoint(&series[3], x, est["exclfrac"])
+			appendPoint(&series[0], x, "unavail", pr)
+			appendPoint(&series[1], x, "unrel", pr)
+			appendPoint(&series[2], x, "corrfrac", pr)
+			appendPoint(&series[3], x, "exclfrac", pr)
 		}
 		for i := range panels {
 			panels[i].Series = append(panels[i].Series, series[i])
@@ -105,7 +108,7 @@ func Fig4(ctx context.Context, cfg Config) (*Figure, error) {
 		p.NumApps = 4
 		p.RepsPerApp = 7
 		p.RateBaseHosts = 10 // constant per-host rates across the sweep
-		est, err := point(ctx, cfg, p, T, uint64(2000+pi), func(m *core.Model) []reward.Var {
+		pr, err := point(ctx, cfg, p, T, uint64(2000+pi), func(m *core.Model) []reward.Var {
 			return []reward.Var{
 				m.Unavailability("u5", 0, 0, 5),
 				m.Unavailability("u10", 0, 0, 10),
@@ -124,20 +127,20 @@ func Fig4(ctx context.Context, cfg Config) (*Figure, error) {
 		if longCfg.Reps > 500 {
 			longCfg.Reps = 500
 		}
-		estSS, err := point(ctx, longCfg, p, steadyT, uint64(2100+pi), func(m *core.Model) []reward.Var {
+		prSS, err := point(ctx, longCfg, p, steadyT, uint64(2100+pi), func(m *core.Model) []reward.Var {
 			return []reward.Var{m.FracCorruptHostsAtExclusion("cf", steadyT)}
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig4 steady hpd=%d: %w", hpd, err)
 		}
 		x := float64(hpd)
-		appendPoint(&s5, x, est["u5"])
-		appendPoint(&s10, x, est["u10"])
-		appendPoint(&r5, x, est["r5"])
-		appendPoint(&r10, x, est["r10"])
-		appendPoint(&ss, x, estSS["cf"])
-		appendPoint(&e5, x, est["e5"])
-		appendPoint(&e10, x, est["e10"])
+		appendPoint(&s5, x, "u5", pr)
+		appendPoint(&s10, x, "u10", pr)
+		appendPoint(&r5, x, "r5", pr)
+		appendPoint(&r10, x, "r10", pr)
+		appendPoint(&ss, x, "cf", prSS)
+		appendPoint(&e5, x, "e5", pr)
+		appendPoint(&e10, x, "e10", pr)
 	}
 	panels[0].Series = []Series{s5, s10}
 	panels[1].Series = []Series{r5, r10}
@@ -170,33 +173,205 @@ func Fig5(ctx context.Context, cfg Config) (*Figure, error) {
 		}[policy]
 		series := [4]Series{{Name: name}, {Name: name}, {Name: name}, {Name: name}}
 		for pi, spread := range Fig5SpreadRates {
-			p := core.DefaultParams()
-			p.NumDomains = 10
-			p.HostsPerDomain = 3
-			p.NumApps = 4
-			p.RepsPerApp = 7
-			p.CorruptionMult = 5
-			p.DomainSpreadRate = spread
-			p.Policy = policy
-			est, err := point(ctx, cfg, p, T, uint64(3000+100*si+pi), func(m *core.Model) []reward.Var {
-				return []reward.Var{
-					m.Unavailability("u5", 0, 0, 5),
-					m.Unavailability("u10", 0, 0, 10),
-					m.Unreliability("r5", 0, 5),
-					m.Unreliability("r10", 0, 10),
-				}
-			})
+			p := fig5Params(spread, policy)
+			pr, err := point(ctx, cfg, p, T, uint64(3000+100*si+pi), fig5Vars)
 			if err != nil {
 				return nil, fmt.Errorf("fig5 %v spread=%v: %w", policy, spread, err)
 			}
-			appendPoint(&series[0], spread, est["u5"])
-			appendPoint(&series[1], spread, est["u10"])
-			appendPoint(&series[2], spread, est["r5"])
-			appendPoint(&series[3], spread, est["r10"])
+			appendPoint(&series[0], spread, "u5", pr)
+			appendPoint(&series[1], spread, "u10", pr)
+			appendPoint(&series[2], spread, "r5", pr)
+			appendPoint(&series[3], spread, "r10", pr)
 		}
 		for i := range panels {
 			panels[i].Series = append(panels[i].Series, series[i])
 		}
+	}
+	fig.Panels = panels
+	return fig, nil
+}
+
+// fig5Params is the study-3 configuration: 10 domains of 3 hosts, 4
+// applications with 7 replicas, corruption multiplier 5, swept over the
+// intra-domain spread rate under either exclusion policy.
+func fig5Params(spread float64, policy core.Policy) core.Params {
+	p := core.DefaultParams()
+	p.NumDomains = 10
+	p.HostsPerDomain = 3
+	p.NumApps = 4
+	p.RepsPerApp = 7
+	p.CorruptionMult = 5
+	p.DomainSpreadRate = spread
+	p.Policy = policy
+	return p
+}
+
+// fig5Vars are the four measures of study 3.
+func fig5Vars(m *core.Model) []reward.Var {
+	return []reward.Var{
+		m.Unavailability("u5", 0, 0, 5),
+		m.Unavailability("u10", 0, 0, 10),
+		m.Unreliability("r5", 0, 5),
+		m.Unreliability("r10", 0, 10),
+	}
+}
+
+// fig5MeasureNames are the var names of fig5Vars, in order.
+var fig5MeasureNames = []string{"u5", "u10", "r5", "r10"}
+
+// finiteOr0 maps NaN and ±Inf to 0 so derived statistics (correlation and
+// VRF can be undefined at zero variance) stay JSON-encodable in
+// checkpoints; 0 reads as "undefined" downstream.
+func finiteOr0(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
+// pairedPoint runs one CRN-paired sweep point comparing two configurations
+// (internal/precision.Compare) and flattens the comparison into a
+// PointResult so it checkpoints exactly like an ordinary point. For every
+// shared measure <v> the estimate map holds <v>.a and <v>.b (the marginal
+// estimates), <v>.delta (mean = paired delta A−B, half-width = paired-t
+// 95% half-width, N = complete pairs), and <v>.corr / <v>.vrf (the
+// CRN-induced correlation and variance-reduction factor, as means; 0 when
+// undefined). Replication accounting sums both configurations. With a
+// precision target configured the comparison is sequential on the deltas.
+func pairedPoint(ctx context.Context, cfg Config, pa, pb core.Params, until float64, seedOffset uint64,
+	vars func(m *core.Model) []reward.Var) (*PointResult, error) {
+	var key string
+	if cfg.Checkpoint != nil {
+		key = pairedPointKey(cfg, pa, pb, until, seedOffset)
+		if pr, ok := cfg.Checkpoint.lookup(key); ok {
+			return pr, nil
+		}
+	}
+	mkSpec := func(p core.Params) (sim.Spec, error) {
+		m, err := core.Build(p)
+		if err != nil {
+			return sim.Spec{}, err
+		}
+		return sim.Spec{
+			Model:          m.SAN,
+			Until:          until,
+			Reps:           cfg.Reps,
+			Seed:           cfg.Seed + seedOffset,
+			Workers:        cfg.Workers,
+			Vars:           vars(m),
+			RepDeadline:    cfg.RepDeadline,
+			MaxFailureFrac: cfg.MaxFailureFrac,
+		}, nil
+	}
+	specA, err := mkSpec(pa)
+	if err != nil {
+		return nil, err
+	}
+	specB, err := mkSpec(pb)
+	if err != nil {
+		return nil, err
+	}
+	opts := precision.Opts{}
+	if cfg.precisionMode() {
+		opts.Targets = cfg.targets(specA.Vars)
+		opts.InitialReps = cfg.Reps
+		opts.MaxReps = cfg.MaxReps
+	}
+	cmp, err := precision.Compare(ctx, specA, specB, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !cmp.Met {
+		cfg.warnf("study: paired precision target (rel %g, abs %g) not reached at this sweep point after %d replications per arm",
+			cfg.TargetRelHW, cfg.TargetAbsHW, cmp.Reps)
+	}
+	if failed := cmp.A.Failed + cmp.B.Failed; failed > 0 {
+		cfg.warnf("study: %d replications failed across the two arms of this paired sweep point; %d complete pairs remain",
+			failed, cmp.Measures[0].N)
+	}
+	est := make(map[string]sim.Estimate, 5*len(cmp.Measures))
+	for _, m := range cmp.Measures {
+		est[m.Name+".a"] = m.A
+		est[m.Name+".b"] = m.B
+		est[m.Name+".delta"] = sim.Estimate{Name: m.Name + ".delta",
+			Mean: m.Delta, HalfWidth95: m.HalfWidth, N: int64(m.N), Min: m.Lo, Max: m.Hi}
+		est[m.Name+".corr"] = sim.Estimate{Name: m.Name + ".corr", Mean: finiteOr0(m.Corr), N: int64(m.N)}
+		est[m.Name+".vrf"] = sim.Estimate{Name: m.Name + ".vrf", Mean: finiteOr0(m.VRF), N: int64(m.N)}
+	}
+	pr := &PointResult{Est: est,
+		Reps:      cmp.A.Reps + cmp.B.Reps,
+		Completed: cmp.A.Completed + cmp.B.Completed,
+		Failed:    cmp.A.Failed + cmp.B.Failed,
+		Skipped:   cmp.A.Skipped + cmp.B.Skipped,
+	}
+	if cfg.Checkpoint != nil {
+		if err := cfg.Checkpoint.store(key, pr); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}
+
+// Fig5Paired is the variance-reduced reading of study 3: instead of two
+// independent sweeps, each spread rate runs host- against domain-exclusion
+// on common random numbers and reports the paired delta with its paired-t
+// interval — the statistically sound way to resolve where the two policy
+// curves of Figure 5 cross. Panels carry the two marginal series plus the
+// delta series; crossover locations estimated from the delta sign changes
+// (linear interpolation, flagged resolved when the bracketing deltas clear
+// their intervals) land in Figure.Notes together with the observed
+// CRN variance-reduction factors.
+func Fig5Paired(ctx context.Context, cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	const T = 10.0
+	fig := &Figure{ID: "5p", Title: "Exclusion Algorithms Compared on Common Random Numbers (host - domain deltas)"}
+	panels := []Panel{
+		{ID: "5pa", Measure: "Unavailability for the first 5 hours", XLabel: "spread rate"},
+		{ID: "5pb", Measure: "Unavailability for the first 10 hours", XLabel: "spread rate"},
+		{ID: "5pc", Measure: "Unreliability for the first 5 hours", XLabel: "spread rate"},
+		{ID: "5pd", Measure: "Unreliability for the first 10 hours", XLabel: "spread rate"},
+	}
+	var host, dom, delta [4]Series
+	for i := range panels {
+		host[i].Name = "Host exclusion"
+		dom[i].Name = "Domain exclusion"
+		delta[i].Name = "delta (host - domain)"
+	}
+	var meanCorr, meanVRF [4]float64
+	for pi, spread := range Fig5SpreadRates {
+		pr, err := pairedPoint(ctx, cfg,
+			fig5Params(spread, core.HostExclusion),
+			fig5Params(spread, core.DomainExclusion),
+			T, uint64(3500+pi), fig5Vars)
+		if err != nil {
+			return nil, fmt.Errorf("fig5-paired spread=%v: %w", spread, err)
+		}
+		for i, v := range fig5MeasureNames {
+			appendPoint(&host[i], spread, v+".a", pr)
+			appendPoint(&dom[i], spread, v+".b", pr)
+			appendPoint(&delta[i], spread, v+".delta", pr)
+			meanCorr[i] += pr.Est[v+".corr"].Mean / float64(len(Fig5SpreadRates))
+			meanVRF[i] += pr.Est[v+".vrf"].Mean / float64(len(Fig5SpreadRates))
+		}
+	}
+	for i := range panels {
+		panels[i].Series = []Series{host[i], dom[i], delta[i]}
+		crossings := precision.Crossovers(delta[i].X, delta[i].Y, delta[i].HW)
+		for _, c := range crossings {
+			state := "within noise"
+			if c.Resolved {
+				state = "CI-resolved"
+			}
+			fig.Notes = append(fig.Notes, fmt.Sprintf(
+				"%s: delta (host - domain) changes sign near spread %.2f (%s)", panels[i].ID, c.X, state))
+		}
+		if len(crossings) == 0 {
+			fig.Notes = append(fig.Notes, fmt.Sprintf(
+				"%s: delta (host - domain) keeps its sign across the sweep", panels[i].ID))
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%s: CRN pairing: mean correlation %.2f, mean variance-reduction factor %.1f",
+			panels[i].ID, meanCorr[i], meanVRF[i]))
 	}
 	fig.Panels = panels
 	return fig, nil

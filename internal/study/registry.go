@@ -17,6 +17,7 @@ var Registry = map[string]Runner{
 	"fig3":          Fig3,
 	"fig4":          Fig4,
 	"fig5":          Fig5,
+	"fig5-paired":   Fig5Paired,
 	"xval":          CrossValidation,
 	"numval":        NumericalValidation,
 	"abl-detect":    AblationDetectionRate,

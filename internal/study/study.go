@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ituaval/internal/core"
+	"ituaval/internal/precision"
 	"ituaval/internal/reward"
 	"ituaval/internal/sim"
 )
@@ -21,6 +22,9 @@ import (
 // studies.
 type Config struct {
 	// Reps is the number of replications per sweep point (default 2000).
+	// With a precision target set (TargetRelHW or TargetAbsHW) it is the
+	// *initial* batch instead, and the sweep point grows geometrically from
+	// there until the target is met or MaxReps is hit.
 	Reps int
 	// Seed is the root seed (default 1).
 	Seed uint64
@@ -34,6 +38,17 @@ type Config struct {
 	// package default): the fraction of replications per point allowed to
 	// fail before the point — and so the study — errors out.
 	MaxFailureFrac float64
+	// TargetRelHW, when positive, switches every sweep point to sequential
+	// precision mode: replications grow geometrically from Reps until every
+	// measure's 95% half-width falls to TargetRelHW·|mean| (or AbsHW,
+	// whichever is met first), bounded by MaxReps. See internal/precision.
+	TargetRelHW float64
+	// TargetAbsHW, when positive, is the absolute 95% half-width target of
+	// precision mode (combinable with TargetRelHW; either met suffices).
+	TargetAbsHW float64
+	// MaxReps bounds the replication count of a sweep point in precision
+	// mode (default 16·Reps). Ignored without a target.
+	MaxReps int
 	// Checkpoint, when non-nil, records every completed sweep point and
 	// skips points it already holds, making interrupted studies resumable
 	// with bit-identical results (seeds are derived per point and per
@@ -50,6 +65,10 @@ func (c Config) warnf(format string, args ...any) {
 	}
 }
 
+// precisionMode reports whether sweep points run under a sequential
+// half-width target.
+func (c Config) precisionMode() bool { return c.TargetRelHW > 0 || c.TargetAbsHW > 0 }
+
 func (c Config) withDefaults() Config {
 	if c.Reps <= 0 {
 		c.Reps = 2000
@@ -57,15 +76,53 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.precisionMode() && c.MaxReps <= 0 {
+		c.MaxReps = 16 * c.Reps
+	}
 	return c
 }
 
-// Series is one curve of a figure panel.
+// targets builds one precision target per reward variable from the
+// configured half-widths.
+func (c Config) targets(vars []reward.Var) []precision.Target {
+	ts := make([]precision.Target, len(vars))
+	for i, v := range vars {
+		ts[i] = precision.Target{Var: v.Name(), RelHW: c.TargetRelHW, AbsHW: c.TargetAbsHW}
+	}
+	return ts
+}
+
+// PointResult is everything a sweep point contributes to a figure: the
+// named estimates plus the replication accounting behind them. It is the
+// unit of checkpointing, so resuming an interrupted sweep restores counts
+// as well as values.
+type PointResult struct {
+	// Est maps reward-variable names to their estimates.
+	Est map[string]sim.Estimate `json:"est"`
+	// Reps is the number of replications requested (after any sequential
+	// growth); Completed+Failed+Skipped == Reps. For a paired point the
+	// counts sum both configurations.
+	Reps      int `json:"reps"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Skipped   int `json:"skipped"`
+}
+
+// Series is one curve of a figure panel. The count slices are parallel to
+// X: N is the per-point observation count behind Y (replications that
+// emitted a value), and Reps/Completed/Failed/Skipped account for every
+// replication the point requested.
 type Series struct {
 	Name string
 	X    []float64
 	Y    []float64
 	HW   []float64 // 95% confidence half-widths
+	N    []int64   // observations behind each Y
+	// Replication accounting per point (see PointResult).
+	Reps      []int
+	Completed []int
+	Failed    []int
+	Skipped   []int
 }
 
 // Panel is one sub-figure: a measure plotted over the sweep variable.
@@ -76,47 +133,89 @@ type Panel struct {
 	Series  []Series
 }
 
-// Figure groups the panels of one paper figure.
+// Figure groups the panels of one paper figure. Notes carries free-text
+// observations computed from the sweep (for example crossover locations in
+// the paired exclusion-policy study).
 type Figure struct {
 	ID     string
 	Title  string
 	Panels []Panel
+	Notes  []string
 }
 
-// WriteText renders the figure as aligned text tables.
+func intAt(v []int, i int) int {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+func int64At(v []int64, i int) int64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+// writeTable renders one aligned table of the panel, with cell contents
+// supplied per series and point.
+func writeTable(b *strings.Builder, p Panel, width int, cell func(s Series, i int) string) {
+	fmt.Fprintf(b, "%12s", p.XLabel)
+	for _, s := range p.Series {
+		fmt.Fprintf(b, " %*s", width, s.Name)
+	}
+	b.WriteByte('\n')
+	if len(p.Series) == 0 {
+		return
+	}
+	for i := range p.Series[0].X {
+		fmt.Fprintf(b, "%12g", p.Series[0].X[i])
+		for _, s := range p.Series {
+			fmt.Fprintf(b, " %*s", width, cell(s, i))
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// WriteText renders the figure as aligned text tables: per panel the
+// estimates with half-widths and observation counts, followed by the
+// replication accounting (completed/failed/skipped of requested) for every
+// sweep point.
 func (f *Figure) WriteText(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== Figure %s: %s ==\n", f.ID, f.Title)
 	for _, p := range f.Panels {
 		fmt.Fprintf(&b, "\n-- %s: %s --\n", p.ID, p.Measure)
-		fmt.Fprintf(&b, "%12s", p.XLabel)
-		for _, s := range p.Series {
-			fmt.Fprintf(&b, " %22s", s.Name)
-		}
-		b.WriteByte('\n')
-		if len(p.Series) == 0 {
-			continue
-		}
-		for i := range p.Series[0].X {
-			fmt.Fprintf(&b, "%12g", p.Series[0].X[i])
-			for _, s := range p.Series {
-				fmt.Fprintf(&b, "    %10.5f ±%7.5f", s.Y[i], s.HW[i])
-			}
-			b.WriteByte('\n')
+		writeTable(&b, p, 30, func(s Series, i int) string {
+			return fmt.Sprintf("%10.5f ±%7.5f n=%-6d", s.Y[i], s.HW[i], int64At(s.N, i))
+		})
+		b.WriteString("   replications per point (completed/failed/skipped of requested):\n")
+		writeTable(&b, p, 30, func(s Series, i int) string {
+			return fmt.Sprintf("%d/%d/%d of %d",
+				intAt(s.Completed, i), intAt(s.Failed, i), intAt(s.Skipped, i), intAt(s.Reps, i))
+		})
+	}
+	if len(f.Notes) > 0 {
+		b.WriteString("\nnotes:\n")
+		for _, n := range f.Notes {
+			fmt.Fprintf(&b, "  - %s\n", n)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-// WriteCSV renders the figure as CSV: figure,panel,series,x,y,hw.
+// WriteCSV renders the figure as CSV:
+// figure,panel,series,x,y,hw,n,reps,completed,failed,skipped.
 func (f *Figure) WriteCSV(w io.Writer) error {
 	var b strings.Builder
-	b.WriteString("figure,panel,series,x,y,hw\n")
+	b.WriteString("figure,panel,series,x,y,hw,n,reps,completed,failed,skipped\n")
 	for _, p := range f.Panels {
 		for _, s := range p.Series {
 			for i := range s.X {
-				fmt.Fprintf(&b, "%s,%s,%q,%g,%g,%g\n", f.ID, p.ID, s.Name, s.X[i], s.Y[i], s.HW[i])
+				fmt.Fprintf(&b, "%s,%s,%q,%g,%g,%g,%d,%d,%d,%d,%d\n",
+					f.ID, p.ID, s.Name, s.X[i], s.Y[i], s.HW[i], int64At(s.N, i),
+					intAt(s.Reps, i), intAt(s.Completed, i), intAt(s.Failed, i), intAt(s.Skipped, i))
 			}
 		}
 	}
@@ -124,25 +223,38 @@ func (f *Figure) WriteCSV(w io.Writer) error {
 	return err
 }
 
-// point runs one sweep point and returns the named estimates. When
-// cfg.Checkpoint is set, a point whose exact spec (params, horizon, reps,
-// seed) was already completed is returned from the checkpoint without
-// simulating, and a freshly computed point is persisted before returning —
-// the unit of resume granularity for interrupted sweeps.
+// newPointResult wraps simulation results as a sweep point.
+func newPointResult(res *sim.Results) *PointResult {
+	est := make(map[string]sim.Estimate, len(res.Estimates))
+	for _, e := range res.Estimates {
+		est[e.Name] = e
+	}
+	return &PointResult{Est: est, Reps: res.Reps,
+		Completed: res.Completed, Failed: res.Failed, Skipped: res.Skipped}
+}
+
+// point runs one sweep point and returns its estimates and replication
+// accounting. When cfg.Checkpoint is set, a point whose exact spec (params,
+// horizon, reps, precision targets, seed) was already completed is returned
+// from the checkpoint without simulating, and a freshly computed point is
+// persisted before returning — the unit of resume granularity for
+// interrupted sweeps. With a precision target configured the point runs
+// sequentially (internal/precision) instead of at a fixed replication
+// count.
 func point(ctx context.Context, cfg Config, p core.Params, until float64, seedOffset uint64,
-	vars func(m *core.Model) []reward.Var) (map[string]sim.Estimate, error) {
+	vars func(m *core.Model) []reward.Var) (*PointResult, error) {
 	var key string
 	if cfg.Checkpoint != nil {
 		key = pointKey(cfg, p, until, seedOffset)
-		if est, ok := cfg.Checkpoint.lookup(key); ok {
-			return est, nil
+		if pr, ok := cfg.Checkpoint.lookup(key); ok {
+			return pr, nil
 		}
 	}
 	m, err := core.Build(p)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunContext(ctx, sim.Spec{
+	spec := sim.Spec{
 		Model:          m.SAN,
 		Until:          until,
 		Reps:           cfg.Reps,
@@ -151,29 +263,56 @@ func point(ctx context.Context, cfg Config, p core.Params, until float64, seedOf
 		Vars:           vars(m),
 		RepDeadline:    cfg.RepDeadline,
 		MaxFailureFrac: cfg.MaxFailureFrac,
-	})
-	if err != nil {
-		return nil, err
+	}
+	var res *sim.Results
+	if cfg.precisionMode() {
+		pres, err := precision.Run(ctx, precision.Spec{
+			Sim:         spec,
+			Targets:     cfg.targets(spec.Vars),
+			InitialReps: cfg.Reps,
+			MaxReps:     cfg.MaxReps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !pres.Met {
+			cfg.warnf("study: precision target (rel %g, abs %g) not reached at this sweep point after %d replications",
+				cfg.TargetRelHW, cfg.TargetAbsHW, pres.Results.Reps)
+		}
+		res = pres.Results
+	} else {
+		if res, err = sim.RunContext(ctx, spec); err != nil {
+			return nil, err
+		}
 	}
 	if res.Failed > 0 {
 		cfg.warnf("study: %d of %d replications failed at this sweep point; estimates use the %d survivors (first failure: %v)",
 			res.Failed, res.Reps, res.Completed, &res.Failures[0])
 	}
-	out := make(map[string]sim.Estimate, len(res.Estimates))
-	for _, e := range res.Estimates {
-		out[e.Name] = e
-	}
+	pr := newPointResult(res)
 	if cfg.Checkpoint != nil {
-		if err := cfg.Checkpoint.store(key, out); err != nil {
+		if err := cfg.Checkpoint.store(key, pr); err != nil {
 			return nil, err
 		}
 	}
-	return out, nil
+	return pr, nil
 }
 
-// appendPoint pushes an estimate onto a series.
-func appendPoint(s *Series, x float64, e sim.Estimate) {
+// appendCell pushes one fully specified point onto a series.
+func appendCell(s *Series, x, y, hw float64, n int64, reps, completed, failed, skipped int) {
 	s.X = append(s.X, x)
-	s.Y = append(s.Y, e.Mean)
-	s.HW = append(s.HW, e.HalfWidth95)
+	s.Y = append(s.Y, y)
+	s.HW = append(s.HW, hw)
+	s.N = append(s.N, n)
+	s.Reps = append(s.Reps, reps)
+	s.Completed = append(s.Completed, completed)
+	s.Failed = append(s.Failed, failed)
+	s.Skipped = append(s.Skipped, skipped)
+}
+
+// appendPoint pushes the named estimate of a sweep point onto a series,
+// carrying the point's replication accounting along.
+func appendPoint(s *Series, x float64, name string, pr *PointResult) {
+	e := pr.Est[name]
+	appendCell(s, x, e.Mean, e.HalfWidth95, e.N, pr.Reps, pr.Completed, pr.Failed, pr.Skipped)
 }

@@ -206,9 +206,108 @@ func TestWriters(t *testing.T) {
 	if !strings.Contains(text.String(), "Figure X3") {
 		t.Fatalf("text output missing title:\n%s", text.String())
 	}
+	if !strings.Contains(text.String(), "replications per point") {
+		t.Fatalf("text output missing replication accounting:\n%s", text.String())
+	}
+	if !strings.Contains(text.String(), "60/0/0 of 60") {
+		t.Fatalf("text output missing completed/failed/skipped counts:\n%s", text.String())
+	}
 	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
-	if lines[0] != "figure,panel,series,x,y,hw" || len(lines) < 10 {
+	if lines[0] != "figure,panel,series,x,y,hw,n,reps,completed,failed,skipped" || len(lines) < 10 {
 		t.Fatalf("csv output unexpected:\n%s", csv.String())
+	}
+	for _, line := range lines[1:] {
+		if !strings.HasSuffix(line, ",60,60,0,0") {
+			t.Fatalf("csv row missing replication accounting: %s", line)
+		}
+	}
+	// Every series carries per-point counts parallel to X.
+	for _, p := range fig.Panels {
+		for _, s := range p.Series {
+			if len(s.N) != len(s.X) || len(s.Completed) != len(s.X) ||
+				len(s.Failed) != len(s.X) || len(s.Skipped) != len(s.X) || len(s.Reps) != len(s.X) {
+				t.Fatalf("series %q counts not parallel to X", s.Name)
+			}
+		}
+	}
+}
+
+// TestPointPrecisionMode drives one sweep point under a relative half-width
+// target: the replication count must grow geometrically from Reps until the
+// target holds for every measure (or the cap is hit).
+func TestPointPrecisionMode(t *testing.T) {
+	p := core.DefaultParams()
+	p.NumDomains = 4
+	p.HostsPerDomain = 2
+	p.NumApps = 3
+	p.RepsPerApp = 4
+	const T = 5.0
+	cfg := Config{Reps: 50, Seed: 3, TargetRelHW: 0.25, MaxReps: 6400}
+	pr, err := point(context.Background(), cfg, p, T, 0, func(m *core.Model) []reward.Var {
+		return []reward.Var{m.Unavailability("u", 0, 0, T)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Reps < cfg.Reps {
+		t.Fatalf("precision point ran %d reps, below the initial batch %d", pr.Reps, cfg.Reps)
+	}
+	// The schedule is geometric from 50 with growth 2 and cap 6400.
+	onSchedule := false
+	for n := cfg.Reps; n <= cfg.MaxReps; n *= 2 {
+		if pr.Reps == n {
+			onSchedule = true
+		}
+	}
+	if !onSchedule {
+		t.Fatalf("total reps %d is not on the geometric schedule from %d", pr.Reps, cfg.Reps)
+	}
+	u := pr.Est["u"]
+	if pr.Reps < cfg.MaxReps && u.HalfWidth95 > cfg.TargetRelHW*math.Abs(u.Mean) {
+		t.Fatalf("stopped early with hw %v > %v of mean %v", u.HalfWidth95, cfg.TargetRelHW, u.Mean)
+	}
+	if pr.Completed+pr.Failed+pr.Skipped != pr.Reps {
+		t.Fatalf("replication accounting inconsistent: %+v", pr)
+	}
+}
+
+// TestFig5PairedShapes checks the CRN-paired reading of study 3: panel
+// structure, a negative host-minus-domain delta at spread 0 (host exclusion
+// is strictly better without intra-domain spread), and the crossover /
+// variance-reduction notes.
+func TestFig5PairedShapes(t *testing.T) {
+	fig, err := Fig5Paired(context.Background(), Config{Reps: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 4 {
+		t.Fatalf("panels = %d", len(fig.Panels))
+	}
+	for _, p := range fig.Panels {
+		if len(p.Series) != 3 {
+			t.Fatalf("panel %s series = %d, want host/domain/delta", p.ID, len(p.Series))
+		}
+		for _, s := range p.Series {
+			if len(s.X) != len(Fig5SpreadRates) || len(s.N) != len(s.X) {
+				t.Fatalf("panel %s series %q shape wrong", p.ID, s.Name)
+			}
+		}
+		host, dom, delta := p.Series[0], p.Series[1], p.Series[2]
+		for i := range delta.Y {
+			if d := delta.Y[i] - (host.Y[i] - dom.Y[i]); math.Abs(d) > 1e-9 {
+				t.Fatalf("panel %s x=%v: delta %v inconsistent with marginals %v - %v",
+					p.ID, delta.X[i], delta.Y[i], host.Y[i], dom.Y[i])
+			}
+		}
+	}
+	// 5pd (unreliability over 10 h) resolves the policies most clearly at
+	// spread 0: host exclusion keeps more of the system alive.
+	delta := fig.Panels[3].Series[2]
+	if delta.Y[0] >= 0 {
+		t.Errorf("5pd: host-minus-domain unreliability delta at spread 0 should be negative, got %v", delta.Y[0])
+	}
+	if len(fig.Notes) == 0 {
+		t.Error("paired figure carries no crossover/VRF notes")
 	}
 }
 
@@ -256,12 +355,13 @@ func TestCrossValidationWithPlacementStrategies(t *testing.T) {
 		p.RepsPerApp = 4
 		p.Placement = placement
 		const T, reps = 6.0, 1200
-		est, err := point(context.Background(), Config{Reps: reps, Seed: 21}, p, T, 0, func(m *core.Model) []reward.Var {
+		pr, err := point(context.Background(), Config{Reps: reps, Seed: 21}, p, T, 0, func(m *core.Model) []reward.Var {
 			return []reward.Var{m.Unavailability("u", 0, 0, T)}
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		est := pr.Est
 		var acc stats.Accumulator
 		root := rng.New(77)
 		for i := 0; i < reps; i++ {
