@@ -4,9 +4,16 @@
 #   test   the full suite (unit, property, cross-implementation, vs-analytic)
 #   race   the concurrency-heavy packages (parallel runner, checkpointing)
 #          under the race detector
+# Self-checking lanes (also run in CI):
+#   lint-models  static SAN lint over every registered study model shape
+#   fuzz-smoke   short fuzz runs of the checkpoint decoder and the
+#                stats/rng constructors
+#   crosscheck   full cross-engine validation (SAN engine vs the
+#                independent direct simulator), heavier than the smoke
+#                variant that runs inside `make test`
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-json
+.PHONY: ci vet build test race bench bench-json lint-models fuzz-smoke crosscheck
 
 ci: vet build test race
 
@@ -21,6 +28,18 @@ test:
 
 race:
 	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/...
+
+lint-models:
+	$(GO) test ./internal/study -run TestLintRegisteredModels -count=1
+
+fuzz-smoke:
+	$(GO) test ./internal/study -run '^$$' -fuzz FuzzCheckpointLine -fuzztime 10s
+	$(GO) test ./internal/rng -run '^$$' -fuzz FuzzNewEmpirical -fuzztime 10s
+	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzQuantile -fuzztime 10s
+	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzBatchMeans -fuzztime 10s
+
+crosscheck:
+	CROSSCHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckFull -count=1 -v
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -82,6 +82,11 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
+		if rec := ck.Recovery(); rec.Damaged() {
+			// Tamper-evident resume: damaged or stale entries were dropped
+			// (those points will be recomputed) and the original file kept.
+			fmt.Fprintf(os.Stderr, "figures: %s\n", rec)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

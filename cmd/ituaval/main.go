@@ -8,7 +8,14 @@
 // completed, marked PARTIAL. A replication that panics, hangs past
 // -rep-deadline, or exhausts its firing budget is recorded (with the seed
 // that reproduces it) and the rest of the study continues; use -replay to
-// re-execute one recorded replication under a debugger.
+// re-execute one recorded replication under a debugger. With -invariants
+// the run carries the model's conservation-law monitors, so a corrupted
+// trajectory aborts with a classified failure instead of skewing estimates.
+//
+// -replay exits with a code identifying the failure class (see
+// sim.FailureKind.ExitCode): 10 model error, 11 panic, 12 deadline, 13
+// firing budget, 14 invariant violation, 15 livelock; 0 means the
+// replication completed cleanly.
 //
 // Example:
 //
@@ -26,6 +33,7 @@ import (
 	"syscall"
 
 	"ituaval/internal/core"
+	"ituaval/internal/integrity"
 	"ituaval/internal/reward"
 	"ituaval/internal/sim"
 )
@@ -51,6 +59,8 @@ func main() {
 		repDeadline = flag.Duration("rep-deadline", 0, "wall-clock watchdog per replication (0 = none)")
 		maxFailFrac = flag.Float64("max-failure-frac", 0, "tolerated fraction of failed replications (0 = default 5%, negative = none)")
 		replay      = flag.Int("replay", -1, "re-execute only the given replication index and report its outcome")
+		invariants  = flag.Bool("invariants", false, "monitor the model's conservation laws during every replication (violations abort the replication, classified)")
+		invEvery    = flag.Int64("invariants-every", 0, "check invariants every N events (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -95,15 +105,20 @@ func main() {
 		Vars: vars, Validate: *validate,
 		RepDeadline: *repDeadline, MaxFailureFrac: *maxFailFrac,
 	}
+	if *invariants {
+		spec.Invariants = integrity.ITUAInvariants(m)
+		spec.InvariantEvery = *invEvery
+	}
 
 	if *replay >= 0 {
-		// Reproduce a single replication from its logged index + root seed.
+		// Reproduce a single replication from its logged index + root seed;
+		// the exit code identifies the failure class so scripts can triage.
 		if ferr := sim.Replay(spec, *replay); ferr != nil {
 			fmt.Printf("replication %d (seed %d): %s failure\n%v\n", ferr.Rep, ferr.Seed, ferr.Kind, ferr)
 			if ferr.Stack != "" {
 				fmt.Printf("\n%s\n", ferr.Stack)
 			}
-			os.Exit(1)
+			os.Exit(ferr.Kind.ExitCode())
 		}
 		fmt.Printf("replication %d (seed %d): completed cleanly\n", *replay, *seed)
 		return

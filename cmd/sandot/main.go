@@ -1,14 +1,20 @@
 // Command sandot exports the structure of the composed ITUA SAN model as a
 // Graphviz DOT graph: places as circles, activities as bars, and edges for
-// the declared enabling dependencies.
+// the declared enabling dependencies. With -lint it instead runs the static
+// model linter and reports structural defects: unreachable activities,
+// orphaned or never-read places, case distributions that do not sum to one,
+// and declared-bound violations.
 //
 // Usage:
 //
-//	sandot [-domains D] [-hosts H] [-apps A] [-reps R] [-policy domain|host] [-o itua.dot]
+//	sandot [-domains D] [-hosts H] [-apps A] [-reps R] [-policy domain|host] [-lint] [-o itua.dot]
 //
 // Without -o the graph goes to stdout. With -o the file is written
 // atomically (temp file + rename), so an interrupted run never leaves a
 // truncated graph behind.
+//
+// Exit codes: 0 success, 1 build or I/O error, 2 usage error, 3 lint
+// findings reported.
 package main
 
 import (
@@ -53,6 +59,7 @@ func main() {
 		apps    = flag.Int("apps", 1, "number of replicated applications")
 		reps    = flag.Int("reps", 3, "replicas per application")
 		policy  = flag.String("policy", "domain", `management algorithm: "domain" or "host"`)
+		lint    = flag.Bool("lint", false, "run the static model linter instead of exporting DOT (exit 3 on findings)")
 		out     = flag.String("o", "", "output file, written atomically (default: stdout)")
 	)
 	flag.Parse()
@@ -62,8 +69,14 @@ func main() {
 	p.HostsPerDomain = *hosts
 	p.NumApps = *apps
 	p.RepsPerApp = *reps
-	if *policy == "host" {
+	switch *policy {
+	case "domain":
+		p.Policy = core.DomainExclusion
+	case "host":
 		p.Policy = core.HostExclusion
+	default:
+		fmt.Fprintf(os.Stderr, "sandot: unknown policy %q (want \"domain\" or \"host\")\n", *policy)
+		os.Exit(2)
 	}
 	m, err := core.Build(p)
 	if err != nil {
@@ -71,6 +84,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "%s\n", m.SAN.Summary())
+
+	if *lint {
+		findings := m.SAN.Lint(san.LintOptions{})
+		for _, f := range findings {
+			fmt.Printf("%s\n", f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "sandot: %d lint finding(s)\n", len(findings))
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, "sandot: model is lint-clean")
+		return
+	}
+
 	write := func(w io.Writer) error { return san.WriteDOT(w, m.SAN) }
 	if *out != "" {
 		err = writeAtomic(*out, write)

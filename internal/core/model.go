@@ -31,7 +31,11 @@ type Model struct {
 	DomMgrsCorrupt []*san.Place // undetected corrupt managers in the domain
 	ExclPending    []*san.Place // domain conviction awaiting shut_domain
 
-	// Per-host places (flattened index g).
+	// Per-host places (flattened index g). The one-shot detection/spread
+	// flags and the pending-exclusion places exist only in configurations
+	// whose rates make the corresponding activities possible (see the
+	// structural gates in Build); a slice is nil when its places cannot be
+	// used, so a silently-dead place never exists to begin with.
 	HostStatus      []*san.Place // 0 ok; 1 script; 2 exploratory; 3 innovative
 	HostExcluded    []*san.Place
 	HostDetectDone  []*san.Place // host-OS IDS trial consumed
@@ -51,7 +55,9 @@ type Model struct {
 	// HasReplica[a][d] is 1 while application a has a replica in domain d.
 	HasReplica [][]*san.Place
 
-	// Per-replica-slot places ([a][r]).
+	// Per-replica-slot places ([a][r]); the slot count is min(RepsPerApp,
+	// NumDomains), the most replicas an app can run at once under the
+	// one-per-domain placement law.
 	OnHost        [][]*san.Place // 0 = slot empty, else flattened host + 1
 	RepCorrupt    [][]*san.Place
 	RepConvicted  [][]*san.Place
@@ -71,6 +77,46 @@ func Build(p Params) (*Model, error) {
 	nHosts := D * H
 	rt := p.derive()
 
+	// ---- structural gates ------------------------------------------------
+	// An activity whose rate parameters make it impossible is not created at
+	// all, and the one-shot bookkeeping places only it can use are not
+	// created either. A gated-out activity previously existed with a
+	// constant-false predicate and never consumed randomness, so omitting it
+	// leaves every trajectory bit-identical while letting the static linter
+	// (san.Model.Lint) hold the remaining net to full liveness standards.
+	canAttackHost := rt.hostAttack > 0
+	canAttackMgr := rt.mgrAttack > 0
+	canAttackRep := rt.replicaAttack > 0
+	canSpreadDom := p.DomainSpreadRate > 0 && canAttackHost
+	canSpreadSys := p.SystemSpreadRate > 0 && canAttackHost
+	canDetectHost := p.HostDetectRate > 0 && canAttackHost
+	canDetectMgr := p.MgrDetectRate > 0 && canAttackMgr
+	canDetectRep := p.ReplicaDetectRate > 0 && canAttackRep
+	// Misbehaviour conviction requires a group with strictly less than a
+	// third of its running replicas corrupt while at least one is: with
+	// min(R, D) <= 3 running replicas, a single corruption already meets
+	// the one-third threshold, so the predicate can never hold.
+	canMisbehave := p.MisbehaveRate > 0 && canAttackRep && min(R, D) > 3
+	// A replica can be convicted by detection, misbehaviour, or a false alarm.
+	canConvict := canDetectRep || canMisbehave || rt.replicaFalse > 0
+	// An exclusion can originate from host/manager detection, a host-level
+	// false alarm, or (under the alternative response) a replica conviction.
+	canExclude := canDetectHost || canDetectMgr || rt.hostFalse > 0 ||
+		(canConvict && p.ExcludeOnReplicaConviction)
+	// Replicas die through slot convictions, host exclusions, or domain
+	// exclusions; recovery needs a kill source plus a qualifying target
+	// domain. A whole-domain exclusion can never free a usable domain, so
+	// when every domain starts with a replica (min(R, D) == D) the
+	// domain-exclusion policy alone cannot make recovery fire; the same
+	// holds for host exclusion at one host per domain.
+	canRecover := (canConvict && !p.ExcludeOnReplicaConviction) ||
+		(p.Policy == HostExclusion && canExclude && (H > 1 || min(R, D) < D)) ||
+		(p.Policy == DomainExclusion && canExclude && min(R, D) < D)
+	// An app holds at most min(R, D) replicas at once (one per domain), and
+	// recovery always reuses the lowest free slot, so slots beyond that
+	// count can never be occupied — they are not created.
+	nSlots := min(R, D)
+
 	m := &Model{
 		Params:       p,
 		SAN:          san.NewModel(fmt.Sprintf("itua-%s-%dx%d-%dx%d", p.Policy, D, H, A, R)),
@@ -79,7 +125,11 @@ func Build(p Params) (*Model, error) {
 	s := m.SAN
 
 	// ---- places ------------------------------------------------------
-	m.SpreadSys = s.Place("attack_spread_system", 0)
+	if canAttackHost {
+		// Only host attacks read the system-wide spread marking, and only
+		// their propagation writes it.
+		m.SpreadSys = s.Place("attack_spread_system", 0)
+	}
 	m.Intrusions = s.Place("intrusions", 0)
 	m.UndetMgrs = s.Place("undetected_corr_mgrs", 0)
 	m.MgrsRunning = s.Place("mgrs_running", san.Marking(nHosts))
@@ -98,7 +148,9 @@ func Build(p Params) (*Model, error) {
 	m.DomExcluded = perDomain("excluded", 0)
 	m.DomMgrsUp = perDomain("mgrs_up", san.Marking(H))
 	m.DomMgrsCorrupt = perDomain("mgrs_corrupt", 0)
-	m.ExclPending = perDomain("exclude_pending", 0)
+	if p.Policy == DomainExclusion && canExclude {
+		m.ExclPending = perDomain("exclude_pending", 0)
+	}
 
 	perHost := func(name string) []*san.Place {
 		ps := make([]*san.Place, nHosts)
@@ -109,13 +161,23 @@ func Build(p Params) (*Model, error) {
 	}
 	m.HostStatus = perHost("status")
 	m.HostExcluded = perHost("excluded")
-	m.HostDetectDone = perHost("detect_done")
+	if canDetectHost {
+		m.HostDetectDone = perHost("detect_done")
+	}
 	m.MgrStatus = perHost("mgr_status")
-	m.MgrDetectDone = perHost("mgr_detect_done")
-	m.PropDomDone = perHost("prop_domain_done")
-	m.PropSysDone = perHost("prop_sys_done")
+	if canDetectMgr {
+		m.MgrDetectDone = perHost("mgr_detect_done")
+	}
+	if canSpreadDom {
+		m.PropDomDone = perHost("prop_domain_done")
+	}
+	if canSpreadSys {
+		m.PropSysDone = perHost("prop_sys_done")
+	}
 	m.NumReplicas = perHost("num_replicas")
-	m.HostExclPending = perHost("exclude_pending")
+	if p.Policy == HostExclusion && canExclude {
+		m.HostExclPending = perHost("exclude_pending")
+	}
 
 	perApp := func(name string) []*san.Place {
 		ps := make([]*san.Place, A)
@@ -133,21 +195,27 @@ func Build(p Params) (*Model, error) {
 	m.OnHost = make([][]*san.Place, A)
 	m.RepCorrupt = make([][]*san.Place, A)
 	m.RepConvicted = make([][]*san.Place, A)
-	m.RepDetectDone = make([][]*san.Place, A)
+	if canDetectRep {
+		m.RepDetectDone = make([][]*san.Place, A)
+	}
 	for a := 0; a < A; a++ {
 		m.HasReplica[a] = make([]*san.Place, D)
 		for d := 0; d < D; d++ {
 			m.HasReplica[a][d] = s.Place(fmt.Sprintf("app[%d].has_replica[%d]", a, d), 0)
 		}
-		m.OnHost[a] = make([]*san.Place, R)
-		m.RepCorrupt[a] = make([]*san.Place, R)
-		m.RepConvicted[a] = make([]*san.Place, R)
-		m.RepDetectDone[a] = make([]*san.Place, R)
-		for r := 0; r < R; r++ {
+		m.OnHost[a] = make([]*san.Place, nSlots)
+		m.RepCorrupt[a] = make([]*san.Place, nSlots)
+		m.RepConvicted[a] = make([]*san.Place, nSlots)
+		if canDetectRep {
+			m.RepDetectDone[a] = make([]*san.Place, nSlots)
+		}
+		for r := 0; r < nSlots; r++ {
 			m.OnHost[a][r] = s.Place(fmt.Sprintf("app[%d].rep[%d].on_host", a, r), 0)
 			m.RepCorrupt[a][r] = s.Place(fmt.Sprintf("app[%d].rep[%d].corrupt", a, r), 0)
 			m.RepConvicted[a][r] = s.Place(fmt.Sprintf("app[%d].rep[%d].convicted", a, r), 0)
-			m.RepDetectDone[a][r] = s.Place(fmt.Sprintf("app[%d].rep[%d].detect_done", a, r), 0)
+			if canDetectRep {
+				m.RepDetectDone[a][r] = s.Place(fmt.Sprintf("app[%d].rep[%d].detect_done", a, r), 0)
+			}
 		}
 	}
 
@@ -182,7 +250,7 @@ func Build(p Params) (*Model, error) {
 		d := g / H
 		for a := 0; a < A; a++ {
 			touched := false
-			for r := 0; r < R; r++ {
+			for r := 0; r < nSlots; r++ {
 				if st.Int(m.OnHost[a][r]) != g+1 {
 					continue
 				}
@@ -194,7 +262,9 @@ func Build(p Params) (*Model, error) {
 				}
 				st.Set(m.RepCorrupt[a][r], 0)
 				st.Set(m.RepConvicted[a][r], 0)
-				st.Set(m.RepDetectDone[a][r], 0)
+				if m.RepDetectDone != nil {
+					st.Set(m.RepDetectDone[a][r], 0)
+				}
 				st.Add(m.Running[a], -1)
 				st.Set(m.HasReplica[a][d], 0)
 				st.Add(m.NeedRecovery[a], 1)
@@ -216,7 +286,9 @@ func Build(p Params) (*Model, error) {
 		}
 		st.Set(m.RepCorrupt[a][r], 0)
 		st.Set(m.RepConvicted[a][r], 0)
-		st.Set(m.RepDetectDone[a][r], 0)
+		if m.RepDetectDone != nil {
+			st.Set(m.RepDetectDone[a][r], 0)
+		}
 		st.Add(m.Running[a], -1)
 		st.Set(m.HasReplica[a][g/H], 0)
 		st.Add(m.NeedRecovery[a], 1)
@@ -259,7 +331,7 @@ func Build(p Params) (*Model, error) {
 			if !isCorrupt {
 			slots:
 				for a := 0; a < A; a++ {
-					for r := 0; r < R; r++ {
+					for r := 0; r < nSlots; r++ {
 						if st.Int(m.OnHost[a][r]) == g+1 && st.Get(m.RepCorrupt[a][r]) == 1 {
 							isCorrupt = true
 							break slots
@@ -361,176 +433,187 @@ func Build(p Params) (*Model, error) {
 
 		// attack_host: three cases for the three attack classes; the rate
 		// grows linearly with the domain and system spread markings.
-		s.AddActivity(san.ActivityDef{
-			Name: hostScope + ".attack_host",
-			Kind: san.Timed,
-			Dist: func(st *san.State) rng.Dist {
-				// One spread variable per level governs both how fast the
-				// attack propagates and how much more vulnerable the
-				// exposed hosts become (Section 3.4).
-				boost := p.DomainSpreadRate*float64(st.Get(m.SpreadDom[d])) +
-					p.SystemSpreadRate*float64(st.Get(m.SpreadSys))
-				return rng.Expo(rt.hostAttack * (1 + p.SpreadRateCoeff*boost))
-			},
-			Enabled: func(st *san.State) bool {
-				return rt.hostAttack > 0 &&
-					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.HostStatus[g]) == 0
-			},
-			Reads: []*san.Place{m.HostExcluded[g], m.HostStatus[g], m.SpreadDom[d], m.SpreadSys},
-			Cases: []san.Case{
-				{Name: "script", Prob: p.PScript, Effect: func(ctx *san.Context) {
-					ctx.State.Set(m.HostStatus[g], 1)
-					ctx.State.Add(m.Intrusions, 1)
-				}},
-				{Name: "exploratory", Prob: p.PExploratory, Effect: func(ctx *san.Context) {
-					ctx.State.Set(m.HostStatus[g], 2)
-					ctx.State.Add(m.Intrusions, 1)
-				}},
-				{Name: "innovative", Prob: p.PInnovative, Effect: func(ctx *san.Context) {
-					ctx.State.Set(m.HostStatus[g], 3)
-					ctx.State.Add(m.Intrusions, 1)
-				}},
-			},
-		})
-
-		// propagate_domain / propagate_sys: fire exactly once per corrupt
-		// host, increasing the spread markings.
-		s.AddActivity(san.ActivityDef{
-			Name: hostScope + ".propagate_domain",
-			Kind: san.Timed,
-			Dist: func(*san.State) rng.Dist { return rng.Expo(p.DomainSpreadRate) },
-			Enabled: func(st *san.State) bool {
-				return p.DomainSpreadRate > 0 && st.Get(m.HostStatus[g]) > 0 &&
-					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.PropDomDone[g]) == 0
-			},
-			Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.PropDomDone[g]},
-			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-				ctx.State.Add(m.SpreadDom[d], 1)
-				ctx.State.Set(m.PropDomDone[g], 1)
-			}}},
-		})
-		s.AddActivity(san.ActivityDef{
-			Name: hostScope + ".propagate_sys",
-			Kind: san.Timed,
-			Dist: func(*san.State) rng.Dist { return rng.Expo(p.SystemSpreadRate) },
-			Enabled: func(st *san.State) bool {
-				return p.SystemSpreadRate > 0 && st.Get(m.HostStatus[g]) > 0 &&
-					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.PropSysDone[g]) == 0
-			},
-			Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.PropSysDone[g]},
-			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-				ctx.State.Add(m.SpreadSys, 1)
-				ctx.State.Set(m.PropSysDone[g], 1)
-			}}},
-		})
-
-		// attack_mgmt: attacks on the manager; faster on a corrupt host and
-		// in a domain the attack has spread through.
-		s.AddActivity(san.ActivityDef{
-			Name: hostScope + ".attack_mgmt",
-			Kind: san.Timed,
-			Dist: func(st *san.State) rng.Dist {
-				rate := rt.mgrAttack
-				if st.Get(m.HostStatus[g]) > 0 {
-					rate *= p.CorruptionMult
-				}
-				boost := p.DomainSpreadRate * float64(st.Get(m.SpreadDom[d]))
-				return rng.Expo(rate * (1 + p.AssetSpreadCoeff*boost))
-			},
-			Enabled: func(st *san.State) bool {
-				return rt.mgrAttack > 0 &&
-					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.MgrStatus[g]) == 0
-			},
-			Reads: []*san.Place{m.HostExcluded[g], m.MgrStatus[g], m.HostStatus[g], m.SpreadDom[d]},
-			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-				ctx.State.Set(m.MgrStatus[g], 1)
-				ctx.State.Add(m.UndetMgrs, 1)
-				ctx.State.Add(m.DomMgrsCorrupt[d], 1)
-				ctx.State.Add(m.Intrusions, 1)
-			}}},
-		})
-
-		// valid_ID_{scp,exp,inv}: one detection trial per host corruption;
-		// on success the response runs provided the local manager and the
-		// domain's manager group are not corrupt (Section 3.4).
-		for class, detectProb := range []float64{1: p.DetectScript, 2: p.DetectExploratory, 3: p.DetectInnovative} {
-			if class == 0 {
-				continue
-			}
-			class, detectProb := class, detectProb
-			suffix := [...]string{1: "scp", 2: "exp", 3: "inv"}[class]
+		if canAttackHost {
 			s.AddActivity(san.ActivityDef{
-				Name: fmt.Sprintf("%s.valid_ID_%s", hostScope, suffix),
+				Name: hostScope + ".attack_host",
 				Kind: san.Timed,
-				Dist: func(*san.State) rng.Dist { return rng.Expo(p.HostDetectRate) },
-				Enabled: func(st *san.State) bool {
-					return p.HostDetectRate > 0 && st.Int(m.HostStatus[g]) == class &&
-						st.Get(m.HostExcluded[g]) == 0 && st.Get(m.HostDetectDone[g]) == 0
+				Dist: func(st *san.State) rng.Dist {
+					// One spread variable per level governs both how fast the
+					// attack propagates and how much more vulnerable the
+					// exposed hosts become (Section 3.4).
+					boost := p.DomainSpreadRate*float64(st.Get(m.SpreadDom[d])) +
+						p.SystemSpreadRate*float64(st.Get(m.SpreadSys))
+					return rng.Expo(rt.hostAttack * (1 + p.SpreadRateCoeff*boost))
 				},
-				Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.HostDetectDone[g]},
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.HostExcluded[g]) == 0 && st.Get(m.HostStatus[g]) == 0
+				},
+				Reads: []*san.Place{m.HostExcluded[g], m.HostStatus[g], m.SpreadDom[d], m.SpreadSys},
 				Cases: []san.Case{
-					{Name: "detect", Prob: detectProb, Effect: func(ctx *san.Context) {
-						ctx.State.Set(m.HostDetectDone[g], 1)
-						if ctx.State.Get(m.MgrStatus[g]) == 0 && domainGroupOK(ctx.State, d) {
-							requestExclusion(ctx.State, g)
-						}
+					{Name: "script", Prob: p.PScript, Effect: func(ctx *san.Context) {
+						ctx.State.Set(m.HostStatus[g], 1)
+						ctx.State.Add(m.Intrusions, 1)
 					}},
-					{Name: "miss", Prob: 1 - detectProb, Effect: func(ctx *san.Context) {
-						ctx.State.Set(m.HostDetectDone[g], 1)
+					{Name: "exploratory", Prob: p.PExploratory, Effect: func(ctx *san.Context) {
+						ctx.State.Set(m.HostStatus[g], 2)
+						ctx.State.Add(m.Intrusions, 1)
+					}},
+					{Name: "innovative", Prob: p.PInnovative, Effect: func(ctx *san.Context) {
+						ctx.State.Set(m.HostStatus[g], 3)
+						ctx.State.Add(m.Intrusions, 1)
 					}},
 				},
 			})
 		}
 
+		// propagate_domain / propagate_sys: fire exactly once per corrupt
+		// host, increasing the spread markings.
+		if canSpreadDom {
+			s.AddActivity(san.ActivityDef{
+				Name: hostScope + ".propagate_domain",
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(p.DomainSpreadRate) },
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.HostStatus[g]) > 0 &&
+						st.Get(m.HostExcluded[g]) == 0 && st.Get(m.PropDomDone[g]) == 0
+				},
+				Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.PropDomDone[g]},
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					ctx.State.Add(m.SpreadDom[d], 1)
+					ctx.State.Set(m.PropDomDone[g], 1)
+				}}},
+			})
+		}
+		if canSpreadSys {
+			s.AddActivity(san.ActivityDef{
+				Name: hostScope + ".propagate_sys",
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(p.SystemSpreadRate) },
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.HostStatus[g]) > 0 &&
+						st.Get(m.HostExcluded[g]) == 0 && st.Get(m.PropSysDone[g]) == 0
+				},
+				Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.PropSysDone[g]},
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					ctx.State.Add(m.SpreadSys, 1)
+					ctx.State.Set(m.PropSysDone[g], 1)
+				}}},
+			})
+		}
+
+		// attack_mgmt: attacks on the manager; faster on a corrupt host and
+		// in a domain the attack has spread through.
+		if canAttackMgr {
+			s.AddActivity(san.ActivityDef{
+				Name: hostScope + ".attack_mgmt",
+				Kind: san.Timed,
+				Dist: func(st *san.State) rng.Dist {
+					rate := rt.mgrAttack
+					if st.Get(m.HostStatus[g]) > 0 {
+						rate *= p.CorruptionMult
+					}
+					boost := p.DomainSpreadRate * float64(st.Get(m.SpreadDom[d]))
+					return rng.Expo(rate * (1 + p.AssetSpreadCoeff*boost))
+				},
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.HostExcluded[g]) == 0 && st.Get(m.MgrStatus[g]) == 0
+				},
+				Reads: []*san.Place{m.HostExcluded[g], m.MgrStatus[g], m.HostStatus[g], m.SpreadDom[d]},
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					ctx.State.Set(m.MgrStatus[g], 1)
+					ctx.State.Add(m.UndetMgrs, 1)
+					ctx.State.Add(m.DomMgrsCorrupt[d], 1)
+					ctx.State.Add(m.Intrusions, 1)
+				}}},
+			})
+		}
+
+		// valid_ID_{scp,exp,inv}: one detection trial per host corruption;
+		// on success the response runs provided the local manager and the
+		// domain's manager group are not corrupt (Section 3.4).
+		if canDetectHost {
+			for class, detectProb := range []float64{1: p.DetectScript, 2: p.DetectExploratory, 3: p.DetectInnovative} {
+				if class == 0 {
+					continue
+				}
+				class, detectProb := class, detectProb
+				suffix := [...]string{1: "scp", 2: "exp", 3: "inv"}[class]
+				s.AddActivity(san.ActivityDef{
+					Name: fmt.Sprintf("%s.valid_ID_%s", hostScope, suffix),
+					Kind: san.Timed,
+					Dist: func(*san.State) rng.Dist { return rng.Expo(p.HostDetectRate) },
+					Enabled: func(st *san.State) bool {
+						return st.Int(m.HostStatus[g]) == class &&
+							st.Get(m.HostExcluded[g]) == 0 && st.Get(m.HostDetectDone[g]) == 0
+					},
+					Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.HostDetectDone[g]},
+					Cases: []san.Case{
+						{Name: "detect", Prob: detectProb, Effect: func(ctx *san.Context) {
+							ctx.State.Set(m.HostDetectDone[g], 1)
+							if ctx.State.Get(m.MgrStatus[g]) == 0 && domainGroupOK(ctx.State, d) {
+								requestExclusion(ctx.State, g)
+							}
+						}},
+						{Name: "miss", Prob: 1 - detectProb, Effect: func(ctx *san.Context) {
+							ctx.State.Set(m.HostDetectDone[g], 1)
+						}},
+					},
+				})
+			}
+		}
+
 		// valid_ID_mgr: detection of manager infiltration. The manager
 		// group convicts its own members, so the response needs either a
 		// correct domain manager group or a good system-wide quorum.
-		s.AddActivity(san.ActivityDef{
-			Name: hostScope + ".valid_ID_mgr",
-			Kind: san.Timed,
-			Dist: func(*san.State) rng.Dist { return rng.Expo(p.MgrDetectRate) },
-			Enabled: func(st *san.State) bool {
-				return p.MgrDetectRate > 0 && st.Get(m.MgrStatus[g]) == 1 &&
-					st.Get(m.HostExcluded[g]) == 0 && st.Get(m.MgrDetectDone[g]) == 0
-			},
-			Reads: []*san.Place{m.MgrStatus[g], m.HostExcluded[g], m.MgrDetectDone[g]},
-			Cases: []san.Case{
-				{Name: "detect", Prob: p.DetectMgr, Effect: func(ctx *san.Context) {
-					ctx.State.Set(m.MgrDetectDone[g], 1)
-					if domainGroupOK(ctx.State, d) || globalQuorumOK(ctx.State) {
-						requestExclusion(ctx.State, g)
-					}
-				}},
-				{Name: "miss", Prob: 1 - p.DetectMgr, Effect: func(ctx *san.Context) {
-					ctx.State.Set(m.MgrDetectDone[g], 1)
-				}},
-			},
-		})
+		if canDetectMgr {
+			s.AddActivity(san.ActivityDef{
+				Name: hostScope + ".valid_ID_mgr",
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(p.MgrDetectRate) },
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.MgrStatus[g]) == 1 &&
+						st.Get(m.HostExcluded[g]) == 0 && st.Get(m.MgrDetectDone[g]) == 0
+				},
+				Reads: []*san.Place{m.MgrStatus[g], m.HostExcluded[g], m.MgrDetectDone[g]},
+				Cases: []san.Case{
+					{Name: "detect", Prob: p.DetectMgr, Effect: func(ctx *san.Context) {
+						ctx.State.Set(m.MgrDetectDone[g], 1)
+						if domainGroupOK(ctx.State, d) || globalQuorumOK(ctx.State) {
+							requestExclusion(ctx.State, g)
+						}
+					}},
+					{Name: "miss", Prob: 1 - p.DetectMgr, Effect: func(ctx *san.Context) {
+						ctx.State.Set(m.MgrDetectDone[g], 1)
+					}},
+				},
+			})
+		}
 
 		// false_ID: false alarms of host-OS or manager infiltration,
 		// "enabled as long as there have not been any actual intrusions"
 		// (Section 3.4) — the alarms quench once a real attack has
 		// succeeded anywhere; the response is the same as for a valid
 		// detection.
-		s.AddActivity(san.ActivityDef{
-			Name: hostScope + ".false_ID",
-			Kind: san.Timed,
-			Dist: func(*san.State) rng.Dist { return rng.Expo(rt.hostFalse) },
-			Enabled: func(st *san.State) bool {
-				return rt.hostFalse > 0 && st.Get(m.HostExcluded[g]) == 0 &&
-					st.Get(m.Intrusions) == 0
-			},
-			Reads: []*san.Place{m.HostExcluded[g], m.Intrusions},
-			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-				if ctx.State.Get(m.MgrStatus[g]) == 0 && domainGroupOK(ctx.State, d) {
-					requestExclusion(ctx.State, g)
-				}
-			}}},
-		})
+		if rt.hostFalse > 0 {
+			s.AddActivity(san.ActivityDef{
+				Name: hostScope + ".false_ID",
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(rt.hostFalse) },
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.HostExcluded[g]) == 0 && st.Get(m.Intrusions) == 0
+				},
+				Reads: []*san.Place{m.HostExcluded[g], m.Intrusions},
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					if ctx.State.Get(m.MgrStatus[g]) == 0 && domainGroupOK(ctx.State, d) {
+						requestExclusion(ctx.State, g)
+					}
+				}}},
+			})
+		}
 
 		// shut_host (host-exclusion algorithm only): carries out a pending
 		// host conviction.
-		if p.Policy == HostExclusion {
+		if p.Policy == HostExclusion && canExclude {
 			act := s.AddActivity(san.ActivityDef{
 				Name:     hostScope + ".shut_host",
 				Kind:     san.Instant,
@@ -549,7 +632,7 @@ func Build(p Params) (*Model, error) {
 	}
 
 	// ---- domain activities ----------------------------------------------
-	if p.Policy == DomainExclusion {
+	if p.Policy == DomainExclusion && canExclude {
 		for d := 0; d < D; d++ {
 			d := d
 			act := s.AddActivity(san.ActivityDef{
@@ -578,137 +661,151 @@ func Build(p Params) (*Model, error) {
 
 	for a := 0; a < A; a++ {
 		a := a
-		for r := 0; r < R; r++ {
+		for r := 0; r < nSlots; r++ {
 			r := r
 			repScope := fmt.Sprintf("app[%d].rep[%d]", a, r)
 			onHost, corrupt := m.OnHost[a][r], m.RepCorrupt[a][r]
-			convicted, detectDone := m.RepConvicted[a][r], m.RepDetectDone[a][r]
+			convicted := m.RepConvicted[a][r]
 
 			// attack_rep: the rate is multiplied by CorruptionMult when the
 			// host the replica runs on is corrupted, and grows with the
 			// attack spread recorded in the replica's domain (the attacker
 			// who has spread through a domain attacks everything in it).
-			reads := []*san.Place{onHost, corrupt, convicted}
-			reads = append(reads, allHostStatus...)
-			reads = append(reads, m.SpreadDom...)
-			s.AddActivity(san.ActivityDef{
-				Name: repScope + ".attack_rep",
-				Kind: san.Timed,
-				Dist: func(st *san.State) rng.Dist {
-					rate := rt.replicaAttack
-					if g := st.Int(onHost) - 1; g >= 0 {
-						if st.Get(m.HostStatus[g]) > 0 {
-							rate *= p.CorruptionMult
+			if canAttackRep {
+				reads := []*san.Place{onHost, corrupt, convicted}
+				reads = append(reads, allHostStatus...)
+				reads = append(reads, m.SpreadDom...)
+				s.AddActivity(san.ActivityDef{
+					Name: repScope + ".attack_rep",
+					Kind: san.Timed,
+					Dist: func(st *san.State) rng.Dist {
+						rate := rt.replicaAttack
+						if g := st.Int(onHost) - 1; g >= 0 {
+							if st.Get(m.HostStatus[g]) > 0 {
+								rate *= p.CorruptionMult
+							}
+							boost := p.DomainSpreadRate * float64(st.Get(m.SpreadDom[g/H]))
+							rate *= 1 + p.AssetSpreadCoeff*boost
 						}
-						boost := p.DomainSpreadRate * float64(st.Get(m.SpreadDom[g/H]))
-						rate *= 1 + p.AssetSpreadCoeff*boost
-					}
-					return rng.Expo(rate)
-				},
-				Enabled: func(st *san.State) bool {
-					return rt.replicaAttack > 0 && st.Get(onHost) > 0 &&
-						st.Get(corrupt) == 0 && st.Get(convicted) == 0
-				},
-				Reads: reads,
-				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-					ctx.State.Set(corrupt, 1)
-					ctx.State.Add(m.Undet[a], 1)
-					ctx.State.Add(m.Intrusions, 1)
-					checkByzantine(ctx.State, a)
-				}}},
-			})
+						return rng.Expo(rate)
+					},
+					Enabled: func(st *san.State) bool {
+						return st.Get(onHost) > 0 &&
+							st.Get(corrupt) == 0 && st.Get(convicted) == 0
+					},
+					Reads: reads,
+					Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+						ctx.State.Set(corrupt, 1)
+						ctx.State.Add(m.Undet[a], 1)
+						ctx.State.Add(m.Intrusions, 1)
+						checkByzantine(ctx.State, a)
+					}}},
+				})
+			}
 
 			// valid_ID: one intrusion-detection trial per replica
 			// corruption (probability DetectReplica of conviction).
-			s.AddActivity(san.ActivityDef{
-				Name: repScope + ".valid_ID",
-				Kind: san.Timed,
-				Dist: func(*san.State) rng.Dist { return rng.Expo(p.ReplicaDetectRate) },
-				Enabled: func(st *san.State) bool {
-					return p.ReplicaDetectRate > 0 && st.Get(corrupt) == 1 &&
-						st.Get(convicted) == 0 && st.Get(detectDone) == 0
-				},
-				Reads: []*san.Place{corrupt, convicted, detectDone},
-				Cases: []san.Case{
-					{Name: "detect", Prob: p.DetectReplica, Effect: func(ctx *san.Context) {
-						ctx.State.Set(detectDone, 1)
-						ctx.State.Set(convicted, 1)
-						ctx.State.Add(m.Undet[a], -1)
-					}},
-					{Name: "miss", Prob: 1 - p.DetectReplica, Effect: func(ctx *san.Context) {
-						ctx.State.Set(detectDone, 1)
-					}},
-				},
-			})
+			if canDetectRep {
+				detectDone := m.RepDetectDone[a][r]
+				s.AddActivity(san.ActivityDef{
+					Name: repScope + ".valid_ID",
+					Kind: san.Timed,
+					Dist: func(*san.State) rng.Dist { return rng.Expo(p.ReplicaDetectRate) },
+					Enabled: func(st *san.State) bool {
+						return st.Get(corrupt) == 1 &&
+							st.Get(convicted) == 0 && st.Get(detectDone) == 0
+					},
+					Reads: []*san.Place{corrupt, convicted, detectDone},
+					Cases: []san.Case{
+						{Name: "detect", Prob: p.DetectReplica, Effect: func(ctx *san.Context) {
+							ctx.State.Set(detectDone, 1)
+							ctx.State.Set(convicted, 1)
+							ctx.State.Add(m.Undet[a], -1)
+						}},
+						{Name: "miss", Prob: 1 - p.DetectReplica, Effect: func(ctx *san.Context) {
+							ctx.State.Set(detectDone, 1)
+						}},
+					},
+				})
+			}
 
 			// rep_misbehave: a corrupt replica shows anomalous behaviour
 			// and is always convicted by the group, provided less than a
 			// third of the currently running replicas are corrupt.
-			s.AddActivity(san.ActivityDef{
-				Name: repScope + ".rep_misbehave",
-				Kind: san.Timed,
-				Dist: func(*san.State) rng.Dist { return rng.Expo(p.MisbehaveRate) },
-				Enabled: func(st *san.State) bool {
-					return p.MisbehaveRate > 0 && st.Get(corrupt) == 1 && st.Get(convicted) == 0 &&
-						st.Int(m.Running[a]) > 3*st.Int(m.Undet[a])
-				},
-				Reads: []*san.Place{corrupt, convicted, m.Running[a], m.Undet[a]},
-				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-					ctx.State.Set(convicted, 1)
-					ctx.State.Add(m.Undet[a], -1)
-				}}},
-			})
+			if canMisbehave {
+				s.AddActivity(san.ActivityDef{
+					Name: repScope + ".rep_misbehave",
+					Kind: san.Timed,
+					Dist: func(*san.State) rng.Dist { return rng.Expo(p.MisbehaveRate) },
+					Enabled: func(st *san.State) bool {
+						return st.Get(corrupt) == 1 && st.Get(convicted) == 0 &&
+							st.Int(m.Running[a]) > 3*st.Int(m.Undet[a])
+					},
+					Reads: []*san.Place{corrupt, convicted, m.Running[a], m.Undet[a]},
+					Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+						ctx.State.Set(convicted, 1)
+						ctx.State.Add(m.Undet[a], -1)
+					}}},
+				})
+			}
 
 			// false_ID: a false alarm convicts an innocent running replica;
 			// like the host-level alarms it is enabled only while no real
 			// intrusion has happened.
-			s.AddActivity(san.ActivityDef{
-				Name: repScope + ".false_ID",
-				Kind: san.Timed,
-				Dist: func(*san.State) rng.Dist { return rng.Expo(rt.replicaFalse) },
-				Enabled: func(st *san.State) bool {
-					return rt.replicaFalse > 0 && st.Get(onHost) > 0 &&
-						st.Get(corrupt) == 0 && st.Get(convicted) == 0 &&
-						st.Get(m.Intrusions) == 0
-				},
-				Reads: []*san.Place{onHost, corrupt, convicted, m.Intrusions},
-				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-					ctx.State.Set(convicted, 1)
-				}}},
-			})
+			if rt.replicaFalse > 0 {
+				s.AddActivity(san.ActivityDef{
+					Name: repScope + ".false_ID",
+					Kind: san.Timed,
+					Dist: func(*san.State) rng.Dist { return rng.Expo(rt.replicaFalse) },
+					Enabled: func(st *san.State) bool {
+						return st.Get(onHost) > 0 &&
+							st.Get(corrupt) == 0 && st.Get(convicted) == 0 &&
+							st.Get(m.Intrusions) == 0
+					},
+					Reads: []*san.Place{onHost, corrupt, convicted, m.Intrusions},
+					Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+						ctx.State.Set(convicted, 1)
+					}}},
+				})
+			}
 
 			// respond: the managers act on a convicted replica once either
 			// the domain's manager group is correct or the system-wide
 			// manager group has a good quorum, requesting the configured
 			// exclusion.
-			respondReads := []*san.Place{convicted, onHost}
-			respondReads = append(respondReads, quorumReads...)
-			s.AddActivity(san.ActivityDef{
-				Name:     repScope + ".respond",
-				Kind:     san.Instant,
-				Priority: 5,
-				Enabled: func(st *san.State) bool {
-					g := st.Int(onHost) - 1
-					if st.Get(convicted) != 1 || g < 0 {
-						return false
-					}
-					return domainGroupOK(st, g/H) || globalQuorumOK(st)
-				},
-				Reads: respondReads,
-				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-					g := ctx.State.Int(onHost) - 1
-					if p.ExcludeOnReplicaConviction {
-						requestExclusion(ctx.State, g)
-						return
-					}
-					killReplicaSlot(ctx.State, a, r, g)
-				}}},
-			})
+			if canConvict {
+				respondReads := []*san.Place{convicted, onHost}
+				respondReads = append(respondReads, quorumReads...)
+				s.AddActivity(san.ActivityDef{
+					Name:     repScope + ".respond",
+					Kind:     san.Instant,
+					Priority: 5,
+					Enabled: func(st *san.State) bool {
+						g := st.Int(onHost) - 1
+						if st.Get(convicted) != 1 || g < 0 {
+							return false
+						}
+						return domainGroupOK(st, g/H) || globalQuorumOK(st)
+					},
+					Reads: respondReads,
+					Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+						g := ctx.State.Int(onHost) - 1
+						if p.ExcludeOnReplicaConviction {
+							requestExclusion(ctx.State, g)
+							return
+						}
+						killReplicaSlot(ctx.State, a, r, g)
+					}}},
+				})
+			}
 		}
 
 		// recovery: the management algorithm starts one replacement
 		// replica on a uniformly chosen qualifying domain and a uniformly
 		// chosen non-excluded host within it (Sections 2 and 3.3).
+		if !canRecover {
+			continue
+		}
 		recoveryReads := []*san.Place{m.NeedRecovery[a], m.UndetMgrs, m.MgrsRunning}
 		recoveryReads = append(recoveryReads, m.DomExcluded...)
 		recoveryReads = append(recoveryReads, m.HasReplica[a]...)
@@ -751,7 +848,7 @@ func Build(p Params) (*Model, error) {
 				d := doms[ctx.Rand.Choose(len(doms))]
 				g := chooseHost(ctx, d)
 				slot := -1
-				for r := 0; r < R; r++ {
+				for r := 0; r < nSlots; r++ {
 					if st.Get(m.OnHost[a][r]) == 0 {
 						slot = r
 						break
@@ -767,6 +864,75 @@ func Build(p Params) (*Model, error) {
 				st.Add(m.NeedRecovery[a], -1)
 			}}},
 		})
+	}
+
+	// ---- measure visibility and declared bounds --------------------------
+	// Places whose only readers are the reward measures (internal/core's
+	// measures.go) are declared Observed so the static linter does not flag
+	// them as write-only; declared bounds give both the linter and the
+	// runtime invariant monitors the legal marking range of each place.
+	s.Observe(m.DomainsExcluded, m.LastExclCorrupt, m.LastExclTotal, m.Intrusions)
+	s.Observe(m.HostStatus...)
+	s.Observe(m.HostExcluded...)
+	s.Observe(m.NumReplicas...)
+	s.Observe(m.Running...)
+	s.Observe(m.Undet...)
+	s.Observe(m.GrpFail...)
+	// The placement and recovery bookkeeping is read by the runtime
+	// invariant monitors (internal/integrity) even in configurations where
+	// no activity reads it (e.g. recovery gated out).
+	s.Observe(m.NeedRecovery...)
+	for a := 0; a < A; a++ {
+		s.Observe(m.HasReplica[a]...)
+	}
+
+	boundEach := func(ps []*san.Place, max san.Marking) {
+		for _, pl := range ps {
+			if pl != nil {
+				s.Bound(pl, max)
+			}
+		}
+	}
+	k := R
+	if D < k {
+		k = D // replicas per app: one per distinct domain
+	}
+	// Intrusions is deliberately unbounded: recovered replicas can be
+	// corrupted again, so the counter grows without limit.
+	if m.SpreadSys != nil {
+		s.Bound(m.SpreadSys, san.Marking(nHosts))
+	}
+	s.Bound(m.UndetMgrs, san.Marking(nHosts))
+	s.Bound(m.MgrsRunning, san.Marking(nHosts))
+	s.Bound(m.DomainsExcluded, san.Marking(D))
+	s.Bound(m.LastExclCorrupt, san.Marking(H))
+	s.Bound(m.LastExclTotal, san.Marking(H))
+	boundEach(m.SpreadDom, san.Marking(H))
+	boundEach(m.DomExcluded, 1)
+	boundEach(m.DomMgrsUp, san.Marking(H))
+	boundEach(m.DomMgrsCorrupt, san.Marking(H))
+	boundEach(m.ExclPending, 1)
+	boundEach(m.HostStatus, 3)
+	boundEach(m.HostExcluded, 1)
+	boundEach(m.HostDetectDone, 1)
+	boundEach(m.MgrStatus, 2)
+	boundEach(m.MgrDetectDone, 1)
+	boundEach(m.PropDomDone, 1)
+	boundEach(m.PropSysDone, 1)
+	boundEach(m.NumReplicas, san.Marking(A)) // one replica per app per host
+	boundEach(m.HostExclPending, 1)
+	boundEach(m.Running, san.Marking(k))
+	boundEach(m.Undet, san.Marking(k))
+	boundEach(m.GrpFail, 1)
+	boundEach(m.NeedRecovery, san.Marking(k))
+	for a := 0; a < A; a++ {
+		boundEach(m.HasReplica[a], 1)
+		boundEach(m.OnHost[a], san.Marking(nHosts)) // stores flattened host + 1
+		boundEach(m.RepCorrupt[a], 1)
+		boundEach(m.RepConvicted[a], 1)
+		if m.RepDetectDone != nil {
+			boundEach(m.RepDetectDone[a], 1)
+		}
 	}
 
 	if err := s.Finalize(); err != nil {

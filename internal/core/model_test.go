@@ -101,7 +101,7 @@ func invariantVar(m *Model) (reward.Var, *[]string) {
 			running, undet := 0, 0
 			perDomain := make([]int, D)
 			perHost := make(map[int]int)
-			for r := 0; r < p.RepsPerApp; r++ {
+			for r := range m.OnHost[a] {
 				g := s.Int(m.OnHost[a][r]) - 1
 				if g < 0 {
 					if s.Get(m.RepCorrupt[a][r]) != 0 || s.Get(m.RepConvicted[a][r]) != 0 {
@@ -141,7 +141,7 @@ func invariantVar(m *Model) (reward.Var, *[]string) {
 		for g := range m.NumReplicas {
 			count := 0
 			for a := 0; a < p.NumApps; a++ {
-				for r := 0; r < p.RepsPerApp; r++ {
+				for r := range m.OnHost[a] {
 					if s.Int(m.OnHost[a][r]) == g+1 {
 						count++
 					}
@@ -272,9 +272,12 @@ func TestModelStructure(t *testing.T) {
 	m := mustBuild(t, p)
 	// Activities per host: attack_host, prop_dom, prop_sys, attack_mgmt,
 	// 3× valid_ID class, valid_ID_mgr, false_ID = 9. Per slot: attack_rep,
-	// valid_ID, rep_misbehave, false_ID, respond = 5. Per app: recovery.
-	// Per domain: shut_domain.
-	wantActs := 6*9 + 2*3*5 + 2 + 3
+	// valid_ID, false_ID, respond = 4 (rep_misbehave is structurally gated
+	// out: with min(reps, domains) = 3 running replicas a single corruption
+	// already meets the one-third Byzantine threshold, so the misbehaviour
+	// conviction predicate can never hold). Per app: recovery. Per domain:
+	// shut_domain.
+	wantActs := 6*9 + 2*3*4 + 2 + 3
 	if got := len(m.SAN.Activities()); got != wantActs {
 		t.Fatalf("activities = %d, want %d", got, wantActs)
 	}
@@ -287,7 +290,7 @@ func TestModelStructure(t *testing.T) {
 
 	p.Policy = HostExclusion
 	m2 := mustBuild(t, p)
-	wantActs2 := 6*10 + 2*3*5 + 2 // shut_host per host instead of shut_domain per domain
+	wantActs2 := 6*10 + 2*3*4 + 2 // shut_host per host instead of shut_domain per domain
 	if got := len(m2.SAN.Activities()); got != wantActs2 {
 		t.Fatalf("host-exclusion activities = %d, want %d", got, wantActs2)
 	}

@@ -1,0 +1,167 @@
+package integrity
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"ituaval/internal/core"
+	"ituaval/internal/ituadirect"
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/sim"
+	"ituaval/internal/stats"
+)
+
+// CrossCheckOptions tunes a cross-engine validation run. Zero values select
+// a smoke-sized check (a few hundred replications per engine) that runs in
+// seconds; raise Reps for the full variant (`make crosscheck`).
+type CrossCheckOptions struct {
+	// Reps is the number of replications per engine. Default 200.
+	Reps int
+	// T is the study horizon in hours. Default 6 (the paper's interval).
+	T float64
+	// Seed is the root seed; the SAN engine uses Seed, the direct
+	// simulator Seed+1, so the two estimates are independent. Default 1.
+	Seed uint64
+	// Workers bounds SAN-engine parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o *CrossCheckOptions) fill() {
+	if o.Reps <= 0 {
+		o.Reps = 200
+	}
+	if o.T <= 0 {
+		o.T = 6
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// MeasureAgreement compares one measure's estimate under the two engines.
+type MeasureAgreement struct {
+	Name       string
+	SANMean    float64
+	SANHalf    float64 // 95% confidence half-width
+	DirectMean float64
+	DirectHalf float64
+}
+
+// Overlaps reports whether the two 95% confidence intervals intersect —
+// the agreement criterion: independent estimators of the same quantity
+// whose intervals are disjoint indicate a modeling or engine discrepancy.
+func (a MeasureAgreement) Overlaps() bool {
+	return math.Abs(a.SANMean-a.DirectMean) <= a.SANHalf+a.DirectHalf
+}
+
+func (a MeasureAgreement) String() string {
+	verdict := "agree"
+	if !a.Overlaps() {
+		verdict = "DISAGREE"
+	}
+	return fmt.Sprintf("%s: SAN %.4g ± %.2g vs direct %.4g ± %.2g (%s)",
+		a.Name, a.SANMean, a.SANHalf, a.DirectMean, a.DirectHalf, verdict)
+}
+
+// CrossCheckReport is the outcome of one cross-engine validation run.
+type CrossCheckReport struct {
+	Policy   core.Policy
+	Reps     int
+	Measures []MeasureAgreement
+}
+
+// Agree reports whether every measure's confidence intervals overlap.
+func (r *CrossCheckReport) Agree() bool {
+	for _, m := range r.Measures {
+		if !m.Overlaps() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *CrossCheckReport) String() string {
+	lines := make([]string, 0, len(r.Measures)+1)
+	lines = append(lines, fmt.Sprintf("cross-check %s (%d reps/engine):", r.Policy, r.Reps))
+	for _, m := range r.Measures {
+		lines = append(lines, "  "+m.String())
+	}
+	return strings.Join(lines, "\n")
+}
+
+// CrossCheck runs the same ITUA configuration through the SAN engine
+// (internal/sim on the composed internal/core model) and the independently
+// coded direct simulator (internal/ituadirect), and compares interval
+// unavailability, unreliability, and the fraction of excluded domains. The
+// two implementations share only the parameter struct — the SAN engine
+// executes gate closures over a marking vector while the direct simulator
+// is a hand-written Gillespie loop over its own state records — so
+// agreement within confidence intervals is strong evidence against an
+// engine-level bug. The SAN run also carries the full ITUAInvariants
+// monitor set, so a conservation-law violation surfaces as an error here
+// rather than as a silent skew.
+func CrossCheck(ctx context.Context, p core.Params, o CrossCheckOptions) (*CrossCheckReport, error) {
+	o.fill()
+	m, err := core.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	T := o.T
+	res, err := sim.RunContext(ctx, sim.Spec{
+		Model:   m.SAN,
+		Until:   T,
+		Reps:    o.Reps,
+		Seed:    o.Seed,
+		Workers: o.Workers,
+		Vars: []reward.Var{
+			m.Unavailability("unavail", 0, 0, T),
+			m.Unreliability("unrel", 0, T),
+			m.FracDomainsExcluded("excl", T),
+		},
+		Invariants: ITUAInvariants(m),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("integrity: SAN engine: %w", err)
+	}
+	if res.Failed > 0 {
+		return nil, fmt.Errorf("integrity: SAN engine failed %d of %d replications: %w",
+			res.Failed, res.Reps, &res.Failures[0])
+	}
+
+	var unavail, unrel, excl stats.Accumulator
+	root := rng.New(o.Seed + 1)
+	for rep := 0; rep < o.Reps; rep++ {
+		dr, err := ituadirect.RunContext(ctx, p, root.Derive(uint64(rep)), []float64{T})
+		if err != nil {
+			return nil, fmt.Errorf("integrity: direct simulator: %w", err)
+		}
+		unavail.Add(dr.UnavailTime[0] / T)
+		if dr.ByzantineBy[0] {
+			unrel.Add(1)
+		} else {
+			unrel.Add(0)
+		}
+		excl.Add(dr.FracDomainsExcluded[0])
+	}
+
+	report := &CrossCheckReport{Policy: p.Policy, Reps: o.Reps}
+	for _, c := range []struct {
+		name string
+		acc  *stats.Accumulator
+	}{
+		{"unavail", &unavail}, {"unrel", &unrel}, {"excl", &excl},
+	} {
+		est := res.MustGet(c.name)
+		report.Measures = append(report.Measures, MeasureAgreement{
+			Name:       c.name,
+			SANMean:    est.Mean,
+			SANHalf:    est.HalfWidth95,
+			DirectMean: c.acc.Mean(),
+			DirectHalf: c.acc.HalfWidth(0.95),
+		})
+	}
+	return report, nil
+}

@@ -1,0 +1,185 @@
+package integrity
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"ituaval/internal/core"
+	"ituaval/internal/reward"
+	"ituaval/internal/san"
+	"ituaval/internal/sim"
+)
+
+func baseParams(policy core.Policy) core.Params {
+	p := core.DefaultParams()
+	p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp = 4, 2, 3, 4
+	p.Policy = policy
+	return p
+}
+
+// A clean model must survive the full monitor set checked at every event.
+func TestITUAInvariantsCleanRun(t *testing.T) {
+	for _, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
+		m, err := core.Build(baseParams(policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Spec{
+			Model: m.SAN, Until: 6, Reps: 40, Seed: 7,
+			Vars:           []reward.Var{m.Unavailability("unavail", 0, 0, 6)},
+			Invariants:     ITUAInvariants(m),
+			InvariantEvery: 1,
+			MaxFailureFrac: 0,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Failed != 0 {
+			t.Fatalf("%s: %d replications violated invariants: %v",
+				policy, res.Failed, res.Failures[0])
+		}
+	}
+}
+
+// Monitored and unmonitored runs must produce identical estimates: the
+// checks read markings but never consume randomness.
+func TestITUAInvariantsDoNotPerturb(t *testing.T) {
+	m, err := core.Build(baseParams(core.DomainExclusion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sim.Spec{
+		Model: m.SAN, Until: 6, Reps: 25, Seed: 3,
+		Vars: []reward.Var{m.Unavailability("unavail", 0, 0, 6)},
+	}
+	plain, err := sim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Invariants = ITUAInvariants(m)
+	spec.InvariantEvery = 16
+	monitored, err := sim.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := plain.MustGet("unavail"), monitored.MustGet("unavail")
+	if a.Mean != b.Mean || a.N != b.N {
+		t.Fatalf("monitoring changed the estimate: %+v vs %+v", a, b)
+	}
+}
+
+// Each monitor must actually detect the corruption class it guards
+// against: tamper with a fresh initial state and expect a complaint.
+func TestITUAInvariantsDetectTampering(t *testing.T) {
+	m, err := core.Build(baseParams(core.DomainExclusion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := map[string]sim.Invariant{}
+	for _, iv := range ITUAInvariants(m) {
+		inv[iv.Name] = iv
+	}
+	cases := []struct {
+		monitor string
+		tamper  func(s *san.State)
+	}{
+		{"replica-accounting", func(s *san.State) { s.Add(m.Running[0], 1) }},
+		{"replica-accounting", func(s *san.State) { s.Add(m.Undet[1], 1) }},
+		{"replica-accounting", func(s *san.State) { s.Add(m.NeedRecovery[0], 1) }},
+		{"placement-accounting", func(s *san.State) { s.Add(m.NumReplicas[0], 1) }},
+		{"placement-accounting", func(s *san.State) {
+			// Force two replicas of app 0 into domain 0.
+			s.Set(m.OnHost[0][0], 1)
+			s.Set(m.OnHost[0][1], 2)
+		}},
+		{"manager-accounting", func(s *san.State) { s.Add(m.MgrsRunning, -1) }},
+		{"manager-accounting", func(s *san.State) { s.Set(m.MgrStatus[3], 1) }},
+		{"exclusion-accounting", func(s *san.State) { s.Add(m.DomainsExcluded, 1) }},
+		{"declared-bounds", func(s *san.State) { s.Set(m.HostStatus[0], 9) }},
+		{"declared-bounds", func(s *san.State) { s.Set(m.MgrStatus[0], 3) }},
+	}
+	for i, c := range cases {
+		iv, ok := inv[c.monitor]
+		if !ok {
+			t.Fatalf("case %d: no monitor named %q", i, c.monitor)
+		}
+		s := cleanState(t, m)
+		if err := iv.Check(s); err != nil {
+			t.Fatalf("case %d: %s rejects the clean initial state: %v", i, c.monitor, err)
+		}
+		c.tamper(s)
+		if err := iv.Check(s); err == nil {
+			t.Errorf("case %d: %s accepted the tampered state", i, c.monitor)
+		}
+	}
+}
+
+// cleanState reproduces the initial stable configuration the engine would
+// start a replication from, by running one zero-length replication and
+// rebuilding the placement through the model's own init hook via sim.
+func cleanState(t *testing.T, m *core.Model) *san.State {
+	t.Helper()
+	s := m.SAN.NewState()
+	// The init hook places replicas; reproduce it through a 1-replication
+	// run is overkill — instead place them directly, respecting the
+	// one-per-domain law the monitors enforce.
+	p := m.Params
+	k := p.RepsPerApp
+	if p.NumDomains < k {
+		k = p.NumDomains
+	}
+	for a := 0; a < p.NumApps; a++ {
+		for i := 0; i < k; i++ {
+			g := i * p.HostsPerDomain // host 0 of domain i
+			s.Set(m.OnHost[a][i], san.Marking(g+1))
+			s.Set(m.HasReplica[a][i], 1)
+			s.Add(m.NumReplicas[g], 1)
+			s.Add(m.Running[a], 1)
+		}
+	}
+	return s
+}
+
+func TestCrossCheckSmoke(t *testing.T) {
+	for _, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
+		p := baseParams(policy)
+		report, err := CrossCheck(context.Background(), p, CrossCheckOptions{
+			Reps: 150, Seed: 11,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if len(report.Measures) != 3 {
+			t.Fatalf("%s: %d measures, want 3", policy, len(report.Measures))
+		}
+		if !report.Agree() {
+			t.Errorf("%s: engines disagree:\n%s", policy, report)
+		}
+	}
+}
+
+// TestCrossCheckFull is the heavyweight variant behind `make crosscheck`:
+// more replications, tighter intervals, both policies and a larger
+// topology. Gated on CROSSCHECK_FULL=1 so the ordinary test lane stays
+// fast.
+func TestCrossCheckFull(t *testing.T) {
+	if os.Getenv("CROSSCHECK_FULL") == "" {
+		t.Skip("set CROSSCHECK_FULL=1 to run the full cross-engine validation")
+	}
+	for _, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
+		p := core.DefaultParams()
+		p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp = 6, 2, 3, 7
+		p.Policy = policy
+		report, err := CrossCheck(context.Background(), p, CrossCheckOptions{
+			Reps: 2000, Seed: 29,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		t.Logf("\n%s", report)
+		if !report.Agree() {
+			t.Errorf("%s: engines disagree:\n%s", policy, report)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package integrity is the model-integrity and self-checking subsystem: it
+// derives runtime invariant monitors from the composed ITUA model's
+// structural laws (internal/sim enforces them during replications), and
+// cross-validates the SAN engine against the independent direct simulator
+// (crosscheck.go). Together with the static linter (san.Model.Lint) and the
+// tamper-evident study checkpoints (internal/study), it gives the
+// reproduction study defence in depth against silent model or engine bugs:
+// a defect either cannot build (Finalize), is flagged before any run
+// (Lint), aborts and classifies the affected replications (invariants), or
+// shows up as disagreement between two independently coded engines.
+package integrity
+
+import (
+	"fmt"
+
+	"ituaval/internal/core"
+	"ituaval/internal/san"
+	"ituaval/internal/sim"
+)
+
+// DeclaredBounds returns an invariant enforcing every marking bound
+// declared with san.Model.Bound, plus non-negativity for all places.
+func DeclaredBounds(m *san.Model) sim.Invariant {
+	return sim.Invariant{
+		Name: "declared-bounds",
+		Check: func(s *san.State) error {
+			for _, p := range m.Places() {
+				v := s.Get(p)
+				if v < 0 {
+					return fmt.Errorf("place %s has negative marking %d", p.Name(), v)
+				}
+				if b, ok := m.BoundOf(p); ok && v > b {
+					return fmt.Errorf("place %s marking %d exceeds declared bound %d", p.Name(), v, b)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ITUAInvariants derives the composed ITUA model's conservation laws as
+// runtime invariant monitors. Each law is a redundant encoding the model
+// maintains incrementally (counters updated alongside the per-entity
+// places); the monitors recompute every counter from the ground-truth
+// per-entity state and fail the replication on any divergence, so a buggy
+// output gate cannot silently skew the measures. Install them via
+// sim.Spec.Invariants; they read the marking only and never consume
+// randomness, so monitored trajectories are bit-identical to unmonitored
+// ones.
+func ITUAInvariants(m *core.Model) []sim.Invariant {
+	p := m.Params
+	D, H, A, R := p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp
+	nHosts := D * H
+	perApp := R
+	if D < perApp {
+		perApp = D // initial replicas per app, conserved as running + pending
+	}
+
+	replicas := sim.Invariant{
+		Name: "replica-accounting",
+		Check: func(s *san.State) error {
+			for a := 0; a < A; a++ {
+				running, undet := 0, 0
+				for r := range m.OnHost[a] {
+					g := s.Int(m.OnHost[a][r]) - 1
+					if g < 0 {
+						if s.Get(m.RepCorrupt[a][r]) != 0 || s.Get(m.RepConvicted[a][r]) != 0 {
+							return fmt.Errorf("app %d slot %d: empty slot with stale corruption state", a, r)
+						}
+						continue
+					}
+					running++
+					if g >= nHosts {
+						return fmt.Errorf("app %d slot %d: host index %d out of range", a, r, g)
+					}
+					if s.Get(m.HostExcluded[g]) == 1 {
+						return fmt.Errorf("app %d slot %d: replica running on excluded host %d", a, r, g)
+					}
+					if s.Get(m.RepCorrupt[a][r]) == 1 && s.Get(m.RepConvicted[a][r]) == 0 {
+						undet++
+					}
+				}
+				if got := s.Int(m.Running[a]); got != running {
+					return fmt.Errorf("app %d: replicas_running = %d, slots say %d", a, got, running)
+				}
+				if got := s.Int(m.Undet[a]); got != undet {
+					return fmt.Errorf("app %d: rep_corr_undetected = %d, slots say %d", a, got, undet)
+				}
+				if got := s.Int(m.Running[a]) + s.Int(m.NeedRecovery[a]); got != perApp {
+					return fmt.Errorf("app %d: running+pending = %d, want the conserved %d", a, got, perApp)
+				}
+			}
+			return nil
+		},
+	}
+
+	placement := sim.Invariant{
+		Name: "placement-accounting",
+		Check: func(s *san.State) error {
+			for g := 0; g < nHosts; g++ {
+				load := 0
+				for a := 0; a < A; a++ {
+					for r := range m.OnHost[a] {
+						if s.Int(m.OnHost[a][r]) == g+1 {
+							load++
+						}
+					}
+				}
+				if got := s.Int(m.NumReplicas[g]); got != load {
+					return fmt.Errorf("host %d: num_replicas = %d, slots say %d", g, got, load)
+				}
+			}
+			for a := 0; a < A; a++ {
+				for d := 0; d < D; d++ {
+					n := 0
+					for r := range m.OnHost[a] {
+						if g := s.Int(m.OnHost[a][r]) - 1; g >= 0 && g/H == d {
+							n++
+						}
+					}
+					if n > 1 {
+						return fmt.Errorf("app %d: %d replicas in domain %d, want at most 1", a, n, d)
+					}
+					if got := s.Int(m.HasReplica[a][d]); got != n {
+						return fmt.Errorf("app %d domain %d: has_replica = %d, slots say %d", a, d, got, n)
+					}
+				}
+			}
+			return nil
+		},
+	}
+
+	managers := sim.Invariant{
+		Name: "manager-accounting",
+		Check: func(s *san.State) error {
+			up, corrupt := 0, 0
+			for d := 0; d < D; d++ {
+				domUp, domCorrupt := 0, 0
+				for h := 0; h < H; h++ {
+					g := d*H + h
+					switch s.Int(m.MgrStatus[g]) {
+					case 0:
+						domUp++
+					case 1:
+						domUp++
+						domCorrupt++
+					case 2:
+						if s.Get(m.HostExcluded[g]) != 1 {
+							return fmt.Errorf("host %d: manager removed but host not excluded", g)
+						}
+					}
+					if s.Get(m.HostExcluded[g]) == 1 && s.Int(m.MgrStatus[g]) != 2 {
+						return fmt.Errorf("host %d: excluded host with live manager", g)
+					}
+				}
+				if got := s.Int(m.DomMgrsUp[d]); got != domUp {
+					return fmt.Errorf("domain %d: mgrs_up = %d, hosts say %d", d, got, domUp)
+				}
+				if got := s.Int(m.DomMgrsCorrupt[d]); got != domCorrupt {
+					return fmt.Errorf("domain %d: mgrs_corrupt = %d, hosts say %d", d, got, domCorrupt)
+				}
+				up += domUp
+				corrupt += domCorrupt
+			}
+			if got := s.Int(m.MgrsRunning); got != up {
+				return fmt.Errorf("mgrs_running = %d, hosts say %d", got, up)
+			}
+			if got := s.Int(m.UndetMgrs); got != corrupt {
+				return fmt.Errorf("undetected_corr_mgrs = %d, hosts say %d", got, corrupt)
+			}
+			return nil
+		},
+	}
+
+	exclusions := sim.Invariant{
+		Name: "exclusion-accounting",
+		Check: func(s *san.State) error {
+			excluded := 0
+			for d := 0; d < D; d++ {
+				if s.Get(m.DomExcluded[d]) == 0 {
+					continue
+				}
+				excluded++
+				for h := 0; h < H; h++ {
+					if s.Get(m.HostExcluded[d*H+h]) == 0 {
+						return fmt.Errorf("domain %d excluded but host %d is not", d, d*H+h)
+					}
+				}
+			}
+			if got := s.Int(m.DomainsExcluded); got != excluded {
+				return fmt.Errorf("domains_excluded = %d, flags say %d", got, excluded)
+			}
+			return nil
+		},
+	}
+
+	return []sim.Invariant{replicas, placement, managers, exclusions, DeclaredBounds(m.SAN)}
+}

@@ -1,0 +1,61 @@
+package rng
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzFloats reinterprets the fuzzer's byte stream as float64s, so the
+// corpus can reach NaNs, infinities, subnormals, and signed zeros that a
+// typed float argument list would rarely produce.
+func fuzzFloats(data []byte) []float64 {
+	xs := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		xs = append(xs, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return xs
+}
+
+// FuzzNewEmpirical drives the empirical-distribution constructor with
+// arbitrary values/weights. The constructor must either reject the input
+// with an error or return a distribution whose Sample always yields one of
+// the supplied values — never a panic, never an out-of-range index from the
+// cumulative-weight binary search.
+func FuzzNewEmpirical(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	seed := func(vals, ws []float64) {
+		vb := make([]byte, 8*len(vals))
+		wb := make([]byte, 8*len(ws))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(vb[8*i:], math.Float64bits(v))
+		}
+		for i, w := range ws {
+			binary.LittleEndian.PutUint64(wb[8*i:], math.Float64bits(w))
+		}
+		f.Add(vb, wb)
+	}
+	seed([]float64{1, 2, 3}, []float64{1, 0, 2})
+	seed([]float64{5}, []float64{0})
+	seed([]float64{1, 2}, []float64{math.Inf(1), 1})
+	f.Fuzz(func(t *testing.T, valBytes, weightBytes []byte) {
+		values := fuzzFloats(valBytes)
+		weights := fuzzFloats(weightBytes)
+		e, err := NewEmpirical(values, weights)
+		if err != nil {
+			return
+		}
+		want := map[uint64]bool{}
+		for _, v := range values {
+			want[math.Float64bits(v)] = true
+		}
+		s := New(1).Derive(0)
+		for i := 0; i < 32; i++ {
+			x := e.Sample(s)
+			if !want[math.Float64bits(x)] {
+				t.Fatalf("Sample returned %g, not one of the input values", x)
+			}
+		}
+	})
+}

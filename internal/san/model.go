@@ -18,6 +18,9 @@ type Model struct {
 	deps       [][]*Activity // place index -> activities reading it
 	initFn     func(ctx *Context)
 	finalized  bool
+	defErrs    []error         // place-construction errors deferred to Finalize
+	observed   map[int]bool    // place index -> read by measures outside activities
+	bounds     map[int]Marking // place index -> declared marking bound
 }
 
 // NewModel creates an empty model.
@@ -26,6 +29,8 @@ func NewModel(name string) *Model {
 		name:       name,
 		placeNames: make(map[string]*Place),
 		actNames:   make(map[string]*Activity),
+		observed:   make(map[int]bool),
+		bounds:     make(map[int]Marking),
 	}
 }
 
@@ -33,22 +38,55 @@ func NewModel(name string) *Model {
 func (m *Model) Name() string { return m.name }
 
 // Place creates a new place with the given unique name and initial marking.
-// It panics if the model is finalized or the name is taken (composition code
-// should use Scope, which produces unique scoped names).
+// It panics if the model is finalized; a duplicate name or a negative
+// initial marking is recorded and reported by Finalize, so model-building
+// code stays linear (composition code should use Scope, which produces
+// unique scoped names).
 func (m *Model) Place(name string, init Marking) *Place {
 	if m.finalized {
 		panic("san: Place after Finalize")
 	}
 	if init < 0 {
-		panic(fmt.Sprintf("san: negative initial marking for %q", name))
+		m.defErrs = append(m.defErrs, fmt.Errorf("place %q has negative initial marking %d", name, init))
+		init = 0
 	}
 	if _, dup := m.placeNames[name]; dup {
-		panic(fmt.Sprintf("san: duplicate place name %q", name))
+		m.defErrs = append(m.defErrs, fmt.Errorf("duplicate place name %q", name))
 	}
 	p := &Place{name: name, index: len(m.places), init: init}
 	m.places = append(m.places, p)
 	m.placeNames[name] = p
 	return p
+}
+
+// Observe declares that p is read from outside the activity network — by a
+// reward measure, a harness, or a test — so the lint pass does not flag it
+// as an orphan or never-read place.
+func (m *Model) Observe(ps ...*Place) {
+	for _, p := range ps {
+		m.observed[p.index] = true
+	}
+}
+
+// Observed reports whether p was declared Observe'd.
+func (m *Model) Observed(p *Place) bool { return m.observed[p.index] }
+
+// Bound declares that p's marking never exceeds max. The bound is
+// documentation the model vouches for: the lint pass checks it against the
+// initial marking and probe firings, and runtime invariant monitors (see
+// internal/integrity) can enforce it on every simulated trajectory.
+func (m *Model) Bound(p *Place, max Marking) {
+	if max < 0 {
+		m.defErrs = append(m.defErrs, fmt.Errorf("place %q declares negative bound %d", p.name, max))
+		return
+	}
+	m.bounds[p.index] = max
+}
+
+// BoundOf returns p's declared marking bound, if any.
+func (m *Model) BoundOf(p *Place) (Marking, bool) {
+	b, ok := m.bounds[p.index]
+	return b, ok
 }
 
 // AddActivity registers an activity definition. Errors are deferred to
@@ -89,7 +127,7 @@ func (m *Model) Finalize() error {
 	if m.finalized {
 		return errors.New("san: model already finalized")
 	}
-	var errs []error
+	errs := append([]error(nil), m.defErrs...)
 	seen := make(map[string]bool, len(m.acts))
 	for _, a := range m.acts {
 		d := &a.def

@@ -183,15 +183,105 @@ func TestFinalizeRejectsForeignPlace(t *testing.T) {
 	}
 }
 
-func TestDuplicatePlacePanics(t *testing.T) {
+func TestFinalizeRejectsDuplicatePlace(t *testing.T) {
 	m := NewModel("m")
-	m.Place("p", 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate place did not panic")
-		}
-	}()
-	m.Place("p", 1)
+	p := m.Place("p", 0)
+	m.Place("p", 1) // deferred: reported by Finalize, not a panic
+	m.AddActivity(ActivityDef{
+		Name: "a", Kind: Instant,
+		Enabled: func(*State) bool { return false },
+		Reads:   []*Place{p},
+		Cases:   []Case{{Prob: 1}},
+	})
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), `duplicate place name "p"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFinalizeRejectsNegativeInitialMarking(t *testing.T) {
+	m := NewModel("m")
+	p := m.Place("p", -3)
+	if p.Initial() != 0 {
+		t.Fatalf("negative init not clamped: %d", p.Initial())
+	}
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "negative initial marking") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFinalizeRejectsNegativeBound(t *testing.T) {
+	m := NewModel("m")
+	p := m.Place("p", 0)
+	m.Bound(p, -1)
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "negative bound") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFinalizeRejectsNonPositiveCaseTotal(t *testing.T) {
+	m := NewModel("bad")
+	p := m.Place("p", 0)
+	m.AddActivity(ActivityDef{
+		Name: "a", Kind: Instant,
+		Enabled: func(*State) bool { return false },
+		Reads:   []*Place{p},
+		Cases:   []Case{{Prob: 0}, {Prob: 0}},
+	})
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "non-positive total case probability") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFinalizeRejectsNilReadPlace(t *testing.T) {
+	m := NewModel("bad")
+	m.AddActivity(ActivityDef{
+		Name: "a", Kind: Instant,
+		Enabled: func(*State) bool { return false },
+		Reads:   []*Place{nil},
+		Cases:   []Case{{Prob: 1}},
+	})
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "nil place in Reads") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFinalizeRejectsNegativeWeight(t *testing.T) {
+	m := NewModel("bad")
+	p := m.Place("p", 0)
+	m.AddActivity(ActivityDef{
+		Name: "a", Kind: Instant,
+		Enabled: func(*State) bool { return false },
+		Reads:   []*Place{p},
+		Cases:   []Case{{Prob: 1}},
+		Weight:  -1,
+	})
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "negative weight") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFinalizeTwiceErrors(t *testing.T) {
+	m, _, _ := buildSimple(t)
+	if err := m.Finalize(); err == nil || !strings.Contains(err.Error(), "already finalized") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestObserveAndBound(t *testing.T) {
+	m := NewModel("m")
+	p := m.Place("p", 2)
+	q := m.Place("q", 0)
+	m.Observe(p)
+	m.Bound(p, 5)
+	if !m.Observed(p) || m.Observed(q) {
+		t.Fatal("Observed wrong")
+	}
+	if b, ok := m.BoundOf(p); !ok || b != 5 {
+		t.Fatalf("BoundOf(p) = %d, %v", b, ok)
+	}
+	if _, ok := m.BoundOf(q); ok {
+		t.Fatal("q should have no bound")
+	}
 }
 
 func TestDependencyIndex(t *testing.T) {

@@ -81,6 +81,10 @@ type Engine struct {
 	stamp    []uint64
 	curStamp uint64
 
+	// runtime invariant monitors (SetInvariants)
+	invariants []Invariant
+	invEvery   int64
+
 	firings int64
 }
 
@@ -325,6 +329,14 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 		return err
 	}
 	e.state.ResetDirty()
+	if err := e.checkInvariants(); err != nil {
+		return err
+	}
+	invEvery := e.invEvery
+	if invEvery <= 0 {
+		invEvery = DefaultInvariantEvery
+	}
+	nextInvCheck := invEvery
 	watch := multiObserver(obs)
 	watch.Init(e.state, 0)
 
@@ -365,7 +377,11 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 
 		// Resolve instantaneous activities, reporting each vanishing
 		// marking to observers (zero-width, so rate rewards are
-		// unaffected but impulse/latch observers see them).
+		// unaffected but impulse/latch observers see them). chain counts
+		// the zero-delay completions triggered by this one timed firing;
+		// exceeding maxInstantChain is a livelock, detected here rather
+		// than left to burn through the firing budget.
+		var chain int64
 		for {
 			enabled := e.model.MaxInstantPriorityEnabled(e.state)
 			if len(enabled) == 0 {
@@ -389,7 +405,11 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 			ci := a.ChooseCase(ctx)
 			a.Fire(ctx, ci)
 			e.firings++
+			chain++
 			watch.Fired(e.state, a, ci, e.now)
+			if chain > maxInstantChain {
+				return &LivelockError{Chain: chain, At: e.now, Last: a.Name()}
+			}
 			if e.firings > maxFirings {
 				return &BudgetError{Limit: maxFirings, At: e.now}
 			}
@@ -402,6 +422,12 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 
 		e.processDirty(ev.act)
 
+		if len(e.invariants) > 0 && e.firings >= nextInvCheck {
+			if err := e.checkInvariants(); err != nil {
+				return err
+			}
+			nextInvCheck = e.firings + invEvery
+		}
 		if e.firings > maxFirings {
 			return &BudgetError{Limit: maxFirings, At: e.now}
 		}
@@ -415,6 +441,9 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 	if until > e.now {
 		watch.Advance(e.state, e.now, until)
 		e.now = until
+	}
+	if err := e.checkInvariants(); err != nil {
+		return err
 	}
 	watch.Done(e.state, e.now)
 	return nil

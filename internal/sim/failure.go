@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"ituaval/internal/rng"
+	"ituaval/internal/san"
 )
 
 // FailureKind classifies why a replication failed. A failed replication
@@ -28,6 +29,13 @@ const (
 	// FailureBudget: the replication exceeded its firing budget
 	// (Spec.MaxFirings).
 	FailureBudget
+	// FailureInvariant: a runtime invariant monitor (Spec.Invariants)
+	// observed a marking outside the model's legal state space.
+	FailureInvariant
+	// FailureLivelock: an instantaneous-activity cycle never reached a
+	// stable marking (engine livelock detector, or san.Stabilize's bound
+	// during initialization).
+	FailureLivelock
 )
 
 func (k FailureKind) String() string {
@@ -40,8 +48,35 @@ func (k FailureKind) String() string {
 		return "deadline"
 	case FailureBudget:
 		return "firing-budget"
+	case FailureInvariant:
+		return "invariant"
+	case FailureLivelock:
+		return "livelock"
 	default:
 		return fmt.Sprintf("FailureKind(%d)", int(k))
+	}
+}
+
+// ExitCode maps a failure class to a distinct process exit code, so shell
+// wrappers around `ituaval -replay` (and other CLIs surfacing replication
+// failures) can branch on the class without parsing stderr. Codes start at
+// 10 to stay clear of the conventional 1 (generic error) and 2 (usage).
+func (k FailureKind) ExitCode() int {
+	switch k {
+	case FailureModel:
+		return 10
+	case FailurePanic:
+		return 11
+	case FailureDeadline:
+		return 12
+	case FailureBudget:
+		return 13
+	case FailureInvariant:
+		return 14
+	case FailureLivelock:
+		return 15
+	default:
+		return 1
 	}
 }
 
@@ -94,10 +129,18 @@ func (e *BudgetError) Error() string {
 // caller before classification.
 func classifyFailure(seed uint64, rep int, err error) *ReplicationError {
 	kind := FailureModel
-	var be *BudgetError
+	var (
+		be *BudgetError
+		ie *InvariantError
+		le *LivelockError
+	)
 	switch {
 	case errors.As(err, &be):
 		kind = FailureBudget
+	case errors.As(err, &ie):
+		kind = FailureInvariant
+	case errors.As(err, &le), errors.Is(err, san.ErrUnstable):
+		kind = FailureLivelock
 	case errors.Is(err, context.DeadlineExceeded):
 		kind = FailureDeadline
 	}
@@ -116,6 +159,7 @@ func Replay(spec Spec, rep int) *ReplicationError {
 	}
 	eng := NewEngine(spec.Model, spec.Validate)
 	eng.UseCRN(spec.CRN)
+	eng.SetInvariants(spec.Invariants, spec.InvariantEvery)
 	_, _, ferr := runReplication(context.Background(), eng, &spec, repStream(&spec, rng.New(spec.Seed), rep), rep)
 	return ferr
 }

@@ -196,8 +196,33 @@ func TestFailureThreshold(t *testing.T) {
 	}
 }
 
+// buildTimedWedge builds a model whose only activity fires with a
+// vanishingly small deterministic delay: simulation time crawls forward in
+// 1e-12 steps, so the run effectively never reaches its end time. Unlike
+// buildWedge there is no instantaneous chain, so neither the livelock
+// detector nor san.Stabilize intervenes — only the wall-clock watchdog or
+// the firing budget can stop it.
+func buildTimedWedge(t *testing.T) *san.Model {
+	t.Helper()
+	m := san.NewModel("timed-wedge")
+	n := m.Place("n", 0)
+	m.AddActivity(san.ActivityDef{
+		Name: "creep", Kind: san.Timed,
+		Dist:    func(*san.State) rng.Dist { return rng.Deterministic{V: 1e-12} },
+		Enabled: func(s *san.State) bool { return true },
+		Reads:   []*san.Place{n},
+		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+			ctx.State.Set(n, 1-ctx.State.Get(n))
+		}}},
+	})
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestWatchdogDeadline(t *testing.T) {
-	m := buildWedge(t)
+	m := buildTimedWedge(t)
 	res, err := Run(Spec{
 		Model: m, Until: 10, Reps: 2, Seed: 1, Workers: 1,
 		MaxFirings:     1 << 60, // budget out of the way: only the watchdog can stop it
@@ -299,10 +324,12 @@ func TestCancelledBeforeStart(t *testing.T) {
 
 func TestFailureKindStrings(t *testing.T) {
 	want := map[FailureKind]string{
-		FailureModel:    "model-error",
-		FailurePanic:    "panic",
-		FailureDeadline: "deadline",
-		FailureBudget:   "firing-budget",
+		FailureModel:     "model-error",
+		FailurePanic:     "panic",
+		FailureDeadline:  "deadline",
+		FailureBudget:    "firing-budget",
+		FailureInvariant: "invariant",
+		FailureLivelock:  "livelock",
 	}
 	for k, s := range want {
 		if k.String() != s {

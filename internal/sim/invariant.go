@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+
+	"ituaval/internal/san"
+)
+
+// Invariant is a predicate over the marking that must hold at every point
+// of every trajectory — a conservation law, a marking bound, or any other
+// property the model vouches for. Check returns nil when the invariant
+// holds and a descriptive error when it is violated; it must not modify the
+// state.
+//
+// Invariants are the runtime complement of san.Model.Lint: lint catches
+// structure that is wrong before any run, invariants catch trajectories
+// that leave the model's legal state space (a buggy output gate, a missed
+// update) while the simulation is producing numbers from them.
+type Invariant struct {
+	Name  string
+	Check func(s *san.State) error
+}
+
+// DefaultInvariantEvery is the check cadence (in firings) when
+// Spec.InvariantEvery is zero. Checks also run on the initial stable
+// marking and on the final marking of every replication, so a persistent
+// violation is never missed — the cadence only bounds how long a transient
+// one can go unobserved.
+const DefaultInvariantEvery = 256
+
+// InvariantError reports a violated invariant, pinned to the simulation
+// time and firing count where the engine observed it. It classifies as
+// FailureInvariant and reproduces deterministically via Replay.
+type InvariantError struct {
+	// Name is the violated invariant's name.
+	Name string
+	// Time is the simulation time of the check that failed.
+	Time float64
+	// Firings is the engine's completion count at the check.
+	Firings int64
+	// Err describes the violation.
+	Err error
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("sim: invariant %q violated at t=%v after %d firings: %v",
+		e.Name, e.Time, e.Firings, e.Err)
+}
+
+// Unwrap exposes the violation description to errors.Is/As.
+func (e *InvariantError) Unwrap() error { return e.Err }
+
+// maxInstantChain bounds the number of instantaneous completions resolved
+// after a single timed firing before the engine declares a livelock. It
+// matches san.Stabilize's bound and is far below the default firing budget,
+// so a zero-delay cycle is reported as what it is (FailureLivelock) rather
+// than as a generic budget exhaustion tens of millions of firings later.
+const maxInstantChain = 1 << 20
+
+// LivelockError reports an instantaneous-activity cycle that never reached
+// a stable marking: Chain zero-delay completions in a row at simulation
+// time At, the last of them Last. It classifies as FailureLivelock.
+type LivelockError struct {
+	Chain int64
+	At    float64
+	Last  string
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("sim: instantaneous livelock at t=%v: %d zero-delay firings without stabilizing (last %q)",
+		e.At, e.Chain, e.Last)
+}
+
+// SetInvariants installs the invariants the engine checks during RunOnce:
+// on the initial stable marking, every `every` firings, and on the final
+// marking. every <= 0 selects DefaultInvariantEvery. Call before RunOnce;
+// the setting is sticky across replications.
+func (e *Engine) SetInvariants(inv []Invariant, every int64) {
+	e.invariants = inv
+	if every <= 0 {
+		every = DefaultInvariantEvery
+	}
+	e.invEvery = every
+}
+
+// checkInvariants evaluates every installed invariant against the current
+// marking, wrapping the first violation with its simulation-time context.
+func (e *Engine) checkInvariants() error {
+	for i := range e.invariants {
+		if err := e.invariants[i].Check(e.state); err != nil {
+			return &InvariantError{
+				Name: e.invariants[i].Name, Time: e.now, Firings: e.firings, Err: err,
+			}
+		}
+	}
+	return nil
+}

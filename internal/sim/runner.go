@@ -88,6 +88,17 @@ type Spec struct {
 	// or in several contiguous batches merged with Results.Merge yields
 	// identical per-replication trajectories.
 	FirstRep int
+	// Invariants are runtime monitors checked against the marking during
+	// every replication (initial stable marking, every InvariantEvery
+	// firings, and the final marking). A violation aborts the replication
+	// with a FailureInvariant ReplicationError — counted, bounded by
+	// MaxFailureFrac, and reproducible via Replay like any other failure.
+	// Invariant checks never consume randomness, so enabling them does not
+	// perturb trajectories.
+	Invariants []Invariant
+	// InvariantEvery is the check cadence in firings (0 selects
+	// DefaultInvariantEvery).
+	InvariantEvery int64
 }
 
 // perRep reports whether the spec needs per-replication values retained.
@@ -381,6 +392,7 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 			}
 			eng := NewEngine(spec.Model, spec.Validate)
 			eng.UseCRN(spec.CRN)
+			eng.SetInvariants(spec.Invariants, spec.InvariantEvery)
 			for rep := w; rep < spec.Reps; rep += workers {
 				if ctx.Err() != nil {
 					// Count this and every remaining strided replication

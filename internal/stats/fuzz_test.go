@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzFloats reinterprets the fuzzer's byte stream as float64s so the
+// corpus reaches NaNs, infinities, subnormals, and signed zeros.
+func fuzzFloats(data []byte) []float64 {
+	xs := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		xs = append(xs, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return xs
+}
+
+func fuzzBytes(xs ...float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+// FuzzQuantile checks the order-statistic interpolation never panics on a
+// non-empty sample with p in [0,1], and that for NaN-free samples the
+// result stays within the sample range — the property downstream callers
+// (figure percentile bands) rely on.
+func FuzzQuantile(f *testing.F) {
+	f.Add(fuzzBytes(1, 2, 3), 0.5)
+	f.Add(fuzzBytes(0), 0.0)
+	f.Add(fuzzBytes(math.Inf(1), -1), 1.0)
+	f.Fuzz(func(t *testing.T, data []byte, p float64) {
+		xs := fuzzFloats(data)
+		if len(xs) == 0 || math.IsNaN(p) || p < 0 || p > 1 {
+			return // documented panic cases
+		}
+		q := Quantile(xs, p)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return // NaN poisons ordering; only panic-freedom applies
+			}
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if !math.IsNaN(q) && (q < lo || q > hi) {
+			t.Fatalf("Quantile(%v, %g) = %g outside sample range [%g, %g]", xs, p, q, lo, hi)
+		}
+	})
+}
+
+// FuzzBatchMeans checks the error contract (reject fewer than 2 batches or
+// more batches than observations) and that a successful split always yields
+// exactly nbatches batch means.
+func FuzzBatchMeans(f *testing.F) {
+	f.Add(fuzzBytes(1, 2, 3, 4), 2)
+	f.Add(fuzzBytes(1), 5)
+	f.Add(fuzzBytes(), 0)
+	f.Fuzz(func(t *testing.T, data []byte, nbatches int) {
+		xs := fuzzFloats(data)
+		acc, err := BatchMeans(xs, nbatches)
+		if nbatches <= 1 || len(xs) < nbatches {
+			if err == nil {
+				t.Fatalf("BatchMeans(%d obs, %d batches) accepted invalid input", len(xs), nbatches)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("BatchMeans(%d obs, %d batches): %v", len(xs), nbatches, err)
+		}
+		if acc.N() != int64(nbatches) {
+			t.Fatalf("got %d batch means, want %d", acc.N(), nbatches)
+		}
+	})
+}

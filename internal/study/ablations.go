@@ -86,54 +86,9 @@ func CrossValidation(ctx context.Context, cfg Config) (*Figure, error) {
 // for exact transient solution.
 func NumericalValidation(ctx context.Context, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
-	const (
-		T       = 5.0
-		attack  = 0.6
-		detect  = 1.5
-		recover = 4.0
-		nRep    = 3
-	)
-	m := san.NewModel("reduced-itua")
-	good := m.Place("good", nRep)
-	bad := m.Place("bad", 0)
-	pending := m.Place("pending", 0)
-	m.AddActivity(san.ActivityDef{
-		Name: "attack", Kind: san.Timed,
-		Dist: func(s *san.State) rng.Dist {
-			return rng.Expo(attack * float64(s.Get(good)))
-		},
-		Enabled: func(s *san.State) bool { return s.Get(good) > 0 },
-		Reads:   []*san.Place{good},
-		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-			ctx.State.Add(good, -1)
-			ctx.State.Add(bad, 1)
-		}}},
-	})
-	m.AddActivity(san.ActivityDef{
-		Name: "detect", Kind: san.Timed,
-		Dist: func(s *san.State) rng.Dist {
-			return rng.Expo(detect * float64(s.Get(bad)))
-		},
-		Enabled: func(s *san.State) bool { return s.Get(bad) > 0 },
-		Reads:   []*san.Place{bad},
-		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-			ctx.State.Add(bad, -1)
-			ctx.State.Add(pending, 1)
-		}}},
-	})
-	m.AddActivity(san.ActivityDef{
-		Name: "restart", Kind: san.Timed,
-		Dist: func(s *san.State) rng.Dist {
-			return rng.Expo(recover * float64(s.Get(pending)))
-		},
-		Enabled: func(s *san.State) bool { return s.Get(pending) > 0 },
-		Reads:   []*san.Place{pending},
-		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-			ctx.State.Add(pending, -1)
-			ctx.State.Add(good, 1)
-		}}},
-	})
-	if err := m.Finalize(); err != nil {
+	const T = 5.0
+	m, good, bad, _, err := reducedValidationModel()
+	if err != nil {
 		return nil, err
 	}
 	improper := func(s *san.State) float64 {
@@ -171,6 +126,62 @@ func NumericalValidation(ctx context.Context, cfg Config) (*Figure, error) {
 		XLabel: "T", Series: []Series{simS, numS},
 	}}
 	return fig, nil
+}
+
+// reducedValidationModel builds the small failure/detection/recovery SAN
+// that NumericalValidation solves exactly; factored out so the model lint
+// lane covers it alongside the composed ITUA shapes.
+func reducedValidationModel() (m *san.Model, good, bad, pending *san.Place, err error) {
+	const (
+		attack  = 0.6
+		detect  = 1.5
+		recover = 4.0
+		nRep    = 3
+	)
+	m = san.NewModel("reduced-itua")
+	good = m.Place("good", nRep)
+	bad = m.Place("bad", 0)
+	pending = m.Place("pending", 0)
+	m.AddActivity(san.ActivityDef{
+		Name: "attack", Kind: san.Timed,
+		Dist: func(s *san.State) rng.Dist {
+			return rng.Expo(attack * float64(s.Get(good)))
+		},
+		Enabled: func(s *san.State) bool { return s.Get(good) > 0 },
+		Reads:   []*san.Place{good},
+		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+			ctx.State.Add(good, -1)
+			ctx.State.Add(bad, 1)
+		}}},
+	})
+	m.AddActivity(san.ActivityDef{
+		Name: "detect", Kind: san.Timed,
+		Dist: func(s *san.State) rng.Dist {
+			return rng.Expo(detect * float64(s.Get(bad)))
+		},
+		Enabled: func(s *san.State) bool { return s.Get(bad) > 0 },
+		Reads:   []*san.Place{bad},
+		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+			ctx.State.Add(bad, -1)
+			ctx.State.Add(pending, 1)
+		}}},
+	})
+	m.AddActivity(san.ActivityDef{
+		Name: "restart", Kind: san.Timed,
+		Dist: func(s *san.State) rng.Dist {
+			return rng.Expo(recover * float64(s.Get(pending)))
+		},
+		Enabled: func(s *san.State) bool { return s.Get(pending) > 0 },
+		Reads:   []*san.Place{pending},
+		Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+			ctx.State.Add(pending, -1)
+			ctx.State.Add(good, 1)
+		}}},
+	})
+	if err := m.Finalize(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return m, good, bad, pending, nil
 }
 
 // AblationDetectionRate (experiment X3) sweeps the IDS pipeline rate to

@@ -1,6 +1,9 @@
 package study
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,17 +16,24 @@ import (
 )
 
 // checkpointVersion is bumped whenever the on-disk format or the point-key
-// derivation changes incompatibly; mismatched files are rejected rather
-// than silently producing wrong resumes. Version 2 stores full PointResult
-// values (estimates plus replication accounting) and fingerprints the
-// precision targets in the point key.
-const checkpointVersion = 2
+// derivation changes incompatibly; mismatched entries are quarantined rather
+// than silently producing wrong resumes. Version 3 is an append-only JSONL
+// format with a SHA-256 content checksum per entry, making checkpoints
+// tamper-evident: a flipped bit, a torn write, or a stale-schema entry is
+// detected on resume, the damaged file is quarantined, and every intact
+// entry is salvaged.
+const checkpointVersion = 3
 
 // Checkpoint persists completed sweep points so an interrupted study can
-// resume without recomputation. After every sweep point the whole
-// checkpoint is rewritten atomically (temp file + rename), so a kill at any
-// moment leaves either the previous or the new consistent file, never a
-// torn one.
+// resume without recomputation. Each completed point appends one line
+//
+//	{"sum":"<sha256 of entry>","entry":{"v":3,"key":...,"point":{...}}}
+//
+// so a kill mid-write can damage at most the final line, and damage of any
+// kind is evident: on resume every line's checksum and schema version are
+// verified, damaged or stale lines are dropped, the original file is moved
+// aside to <path>.corrupt-<n>, and a clean file holding the surviving
+// entries is written in its place. Recovery reports what happened.
 //
 // Resume is exact, not approximate: a point's key fingerprints the full
 // simulation spec (model parameters, horizon, replication schedule —
@@ -31,26 +41,128 @@ const checkpointVersion = 2
 // seed), and replication seeds are derived per-replication from the root
 // seed, so a resumed study is bit-identical to an uninterrupted one.
 type Checkpoint struct {
-	mu     sync.Mutex
-	path   string
-	points map[string]*PointResult
-	onSave func() // test hook, called after each successful save
+	mu       sync.Mutex
+	path     string
+	points   map[string]*PointResult
+	truncate bool // first store replaces any pre-existing (unloaded) file
+	recovery Recovery
+	onSave   func() // test hook, called after each successful save
 }
 
-// checkpointFile is the JSON schema of the on-disk checkpoint.
-type checkpointFile struct {
-	Version int                     `json:"version"`
-	Points  map[string]*PointResult `json:"points"`
+// Recovery describes what OpenCheckpoint found when it verified an existing
+// checkpoint file. The zero value means the file was absent or fully intact.
+type Recovery struct {
+	// Quarantined is the path the damaged original was moved to, or "" if
+	// every line verified.
+	Quarantined string
+	// Salvaged is the number of intact entries recovered from a damaged
+	// file.
+	Salvaged int
+	// Dropped is the number of lines discarded for corruption: unparsable
+	// JSON, a checksum mismatch, or a torn final line.
+	Dropped int
+	// Stale is the number of well-formed entries discarded because they
+	// were written by a different checkpoint schema version (including
+	// whole files in the pre-v3 format).
+	Stale int
+}
+
+// Damaged reports whether the checkpoint file needed quarantine.
+func (r Recovery) Damaged() bool { return r.Quarantined != "" }
+
+func (r Recovery) String() string {
+	if !r.Damaged() {
+		return "checkpoint intact"
+	}
+	return fmt.Sprintf("checkpoint damaged: %d entries salvaged, %d corrupt and %d stale dropped; original quarantined at %s",
+		r.Salvaged, r.Dropped, r.Stale, r.Quarantined)
+}
+
+// checkpointLine is the JSONL envelope: the checksum binds the exact entry
+// bytes, so any mutation of the payload is detected.
+type checkpointLine struct {
+	Sum   string          `json:"sum"`
+	Entry json.RawMessage `json:"entry"`
+}
+
+// checkpointEntry is one completed sweep point.
+type checkpointEntry struct {
+	V     int          `json:"v"`
+	Key   string       `json:"key"`
+	Point *PointResult `json:"point"`
+}
+
+// lineVerdict classifies one checkpoint line during verification.
+type lineVerdict int
+
+const (
+	lineOK lineVerdict = iota
+	// lineCorrupt: unparsable, checksum mismatch, or missing fields.
+	lineCorrupt
+	// lineStale: checksum (or legacy shape) is fine but the schema version
+	// is not ours — honestly written by other code, not tampered with.
+	lineStale
+)
+
+// decodeCheckpointLine verifies and decodes one line of a v3 checkpoint.
+func decodeCheckpointLine(line []byte) (key string, pr *PointResult, v lineVerdict) {
+	var l checkpointLine
+	if err := json.Unmarshal(line, &l); err != nil {
+		return "", nil, lineCorrupt
+	}
+	if l.Sum == "" || len(l.Entry) == 0 {
+		// Not the envelope shape. A pre-v3 checkpoint was a single JSON
+		// object {"version":N,...}; classify that as stale, not corrupt.
+		var legacy struct {
+			Version int `json:"version"`
+		}
+		if err := json.Unmarshal(line, &legacy); err == nil && legacy.Version != 0 {
+			return "", nil, lineStale
+		}
+		return "", nil, lineCorrupt
+	}
+	sum := sha256.Sum256(l.Entry)
+	if hex.EncodeToString(sum[:]) != l.Sum {
+		return "", nil, lineCorrupt
+	}
+	var e checkpointEntry
+	if err := json.Unmarshal(l.Entry, &e); err != nil {
+		return "", nil, lineCorrupt
+	}
+	if e.V != checkpointVersion {
+		return "", nil, lineStale
+	}
+	if e.Key == "" || e.Point == nil {
+		return "", nil, lineCorrupt
+	}
+	return e.Key, e.Point, lineOK
+}
+
+// encodeCheckpointLine builds the checksummed JSONL line for one entry.
+func encodeCheckpointLine(key string, pr *PointResult) ([]byte, error) {
+	entry, err := json.Marshal(checkpointEntry{V: checkpointVersion, Key: key, Point: pr})
+	if err != nil {
+		return nil, fmt.Errorf("study: encoding checkpoint entry: %w", err)
+	}
+	sum := sha256.Sum256(entry)
+	line, err := json.Marshal(checkpointLine{Sum: hex.EncodeToString(sum[:]), Entry: entry})
+	if err != nil {
+		return nil, fmt.Errorf("study: encoding checkpoint line: %w", err)
+	}
+	return append(line, '\n'), nil
 }
 
 // OpenCheckpoint opens a checkpoint backed by path. With resume true, an
-// existing file is loaded and its completed points are skipped on the next
-// run; a missing file is not an error (the study simply starts from
-// scratch). With resume false the checkpoint starts empty and the file is
-// replaced at the first completed point.
+// existing file is verified line by line and its intact points are skipped
+// on the next run; a missing file is not an error (the study simply starts
+// from scratch), and a damaged file is quarantined to <path>.corrupt-<n>
+// with the surviving entries salvaged (inspect Recovery for details). With
+// resume false the checkpoint starts empty and the file is replaced at the
+// first completed point.
 func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 	ck := &Checkpoint{path: path, points: make(map[string]*PointResult)}
 	if !resume {
+		ck.truncate = true
 		return ck, nil
 	}
 	data, err := os.ReadFile(path)
@@ -60,17 +172,90 @@ func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("study: reading checkpoint: %w", err)
 	}
-	var f checkpointFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("study: corrupt checkpoint %s: %w", path, err)
+	var good [][]byte
+	var corrupt, stale int
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		key, pr, verdict := decodeCheckpointLine(line)
+		switch verdict {
+		case lineOK:
+			ck.points[key] = pr
+			good = append(good, line)
+		case lineStale:
+			stale++
+		default:
+			corrupt++
+		}
 	}
-	if f.Version != checkpointVersion {
-		return nil, fmt.Errorf("study: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
-	}
-	if f.Points != nil {
-		ck.points = f.Points
+	if corrupt+stale > 0 {
+		qpath, err := quarantine(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeLines(path, good); err != nil {
+			return nil, err
+		}
+		ck.recovery = Recovery{
+			Quarantined: qpath,
+			Salvaged:    len(ck.points),
+			Dropped:     corrupt,
+			Stale:       stale,
+		}
 	}
 	return ck, nil
+}
+
+// Recovery reports what OpenCheckpoint found in the existing file.
+func (c *Checkpoint) Recovery() Recovery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recovery
+}
+
+// quarantine moves path aside to the first free <path>.corrupt-<n>.
+func quarantine(path string) (string, error) {
+	for n := 1; ; n++ {
+		qpath := fmt.Sprintf("%s.corrupt-%d", path, n)
+		if _, err := os.Lstat(qpath); err == nil {
+			continue
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return "", fmt.Errorf("study: quarantining checkpoint: %w", err)
+		}
+		if err := os.Rename(path, qpath); err != nil {
+			return "", fmt.Errorf("study: quarantining checkpoint: %w", err)
+		}
+		return qpath, nil
+	}
+}
+
+// writeLines atomically replaces path with the given lines.
+func writeLines(path string, lines [][]byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("study: writing checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("study: writing checkpoint: %w", err)
+	}
+	for _, line := range lines {
+		if _, err := tmp.Write(append(line, '\n')); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("study: writing checkpoint: %w", err)
+	}
+	return nil
 }
 
 // Len reports the number of completed sweep points recorded.
@@ -88,12 +273,12 @@ func (c *Checkpoint) lookup(key string) (*PointResult, bool) {
 	return pr, ok
 }
 
-// store records a completed point and rewrites the checkpoint file
-// atomically.
+// store records a completed point and appends its checksummed line to the
+// checkpoint file.
 func (c *Checkpoint) store(key string, pr *PointResult) error {
 	c.mu.Lock()
 	c.points[key] = pr
-	err := c.save()
+	err := c.appendLine(key, pr)
 	c.mu.Unlock()
 	if err != nil {
 		return err
@@ -104,30 +289,27 @@ func (c *Checkpoint) store(key string, pr *PointResult) error {
 	return nil
 }
 
-// save writes the checkpoint under c.mu: marshal to a temp file in the
-// destination directory, fsync-free rename into place.
-func (c *Checkpoint) save() error {
-	data, err := json.Marshal(checkpointFile{Version: checkpointVersion, Points: c.points})
+// appendLine writes one entry under c.mu. The first store of a
+// non-resuming checkpoint truncates whatever file was there before.
+func (c *Checkpoint) appendLine(key string, pr *PointResult) error {
+	line, err := encodeCheckpointLine(key, pr)
 	if err != nil {
-		return fmt.Errorf("study: encoding checkpoint: %w", err)
+		return err
 	}
-	dir := filepath.Dir(c.path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	flags := os.O_WRONLY | os.O_CREATE | os.O_APPEND
+	if c.truncate {
+		flags = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	}
+	f, err := os.OpenFile(c.path, flags, 0o644)
 	if err != nil {
 		return fmt.Errorf("study: writing checkpoint: %w", err)
 	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
+	c.truncate = false
+	if _, err := f.Write(line); err != nil {
+		f.Close()
 		return fmt.Errorf("study: writing checkpoint: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("study: writing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmpName, c.path); err != nil {
-		os.Remove(tmpName)
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("study: writing checkpoint: %w", err)
 	}
 	return nil

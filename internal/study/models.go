@@ -1,0 +1,134 @@
+package study
+
+import (
+	"fmt"
+
+	"ituaval/internal/core"
+)
+
+// StudyModelShape names one model configuration a registered study builds.
+// The lint lane (TestLintRegisteredModels, `make lint-models`) runs the
+// static SAN linter over every shape, so a structural defect in any swept
+// configuration — an activity gated dead by a zero rate, an orphaned
+// bookkeeping place, a case distribution that stopped summing to one — is
+// caught before any replication money is spent on it.
+type StudyModelShape struct {
+	Study  string // registry id the shape belongs to
+	Name   string // which corner of the study's sweep
+	Params core.Params
+}
+
+// StudyModelShapes enumerates representative parameter shapes for every
+// experiment in Registry. Sweeps are sampled at their structural extremes:
+// the corners that change which activities and places exist (zero rates,
+// one-domain and one-host-per-domain topologies, both policies, conviction
+// response variants), not every interior rate value, since interior points
+// share the extreme points' structure.
+func StudyModelShapes() []StudyModelShape {
+	var shapes []StudyModelShape
+	add := func(study, name string, mut func(p *core.Params)) {
+		p := core.DefaultParams()
+		mut(&p)
+		shapes = append(shapes, StudyModelShape{Study: study, Name: name, Params: p})
+	}
+	topo := func(p *core.Params, d, h, a, r int) {
+		p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp = d, h, a, r
+	}
+
+	// fig3: 12 hosts split into domains, rate base anchored at 12/28.
+	for _, hpd := range []int{1, 12} { // 12 domains of 1 vs 1 domain of 12
+		for _, apps := range []int{2, 8} {
+			hpd, apps := hpd, apps
+			add("fig3", fmtShape("hpd=%d,apps=%d", hpd, apps), func(p *core.Params) {
+				topo(p, 12/hpd, hpd, apps, 7)
+				p.RateBaseHosts, p.RateBaseReplicas = 12, 28
+			})
+		}
+	}
+
+	// fig4: 10 domains, growing hosts per domain, per-host rates pinned.
+	for _, hpd := range []int{1, 4} {
+		hpd := hpd
+		add("fig4", fmtShape("hpd=%d", hpd), func(p *core.Params) {
+			topo(p, 10, hpd, 4, 7)
+			p.RateBaseHosts = 10
+		})
+	}
+
+	// fig5 / fig5-paired: spread-rate sweep under both policies; spread=0
+	// is the structural corner where intra-domain propagation is gated out.
+	for _, policy := range []core.Policy{core.HostExclusion, core.DomainExclusion} {
+		for _, spread := range []float64{0, 10} {
+			policy, spread := policy, spread
+			add("fig5", fmtShape("%s,spread=%g", policy, spread), func(p *core.Params) {
+				topo(p, 10, 3, 4, 7)
+				p.CorruptionMult = 5
+				p.DomainSpreadRate = spread
+				p.Policy = policy
+			})
+		}
+	}
+
+	// xval: the cross-validation baseline, both policies.
+	for _, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
+		policy := policy
+		add("xval", policy.String(), func(p *core.Params) {
+			topo(p, 4, 2, 3, 4)
+			p.Policy = policy
+		})
+	}
+	// numval builds its own reduced SAN rather than the composed ITUA
+	// model; reducedValidationModel is linted directly by the lane.
+
+	// abl-detect: detection-pipeline rate sweep (structure is rate-invariant
+	// for positive rates; sample the extremes anyway).
+	for _, rate := range []float64{0.1, 4} {
+		rate := rate
+		add("abl-detect", fmtShape("rate=%g", rate), func(p *core.Params) {
+			topo(p, 12, 1, 4, 7)
+			p.HostDetectRate, p.ReplicaDetectRate, p.MgrDetectRate = rate, rate, rate
+		})
+	}
+
+	// abl-split: replica attack weight 0 gates out the whole replica attack
+	// subtree (misbehave, conviction, recovery-by-conviction).
+	for _, wr := range []float64{0, 8} {
+		wr := wr
+		add("abl-split", fmtShape("wr=%g", wr), func(p *core.Params) {
+			topo(p, 12, 1, 4, 7)
+			p.AttackSplitReplica = wr
+		})
+	}
+
+	// abl-convict: conviction response variants across the hosts/domain
+	// extremes, including the 1-domain corner where exclusion on conviction
+	// leaves no recovery target.
+	for _, excl := range []bool{false, true} {
+		for _, hpd := range []int{1, 12} {
+			excl, hpd := excl, hpd
+			add("abl-convict", fmtShape("excl=%t,hpd=%d", excl, hpd), func(p *core.Params) {
+				topo(p, 12/hpd, hpd, 4, 7)
+				p.ExcludeOnReplicaConviction = excl
+			})
+		}
+	}
+
+	// abl-placement: placement strategy changes output-gate effects, not
+	// structure; lint each strategy at the zero-spread corner.
+	for _, placement := range []core.Placement{
+		core.UniformPlacement, core.LeastLoadedPlacement, core.WeightedRandomPlacement,
+	} {
+		placement := placement
+		add("abl-placement", placement.String(), func(p *core.Params) {
+			topo(p, 10, 3, 4, 7)
+			p.CorruptionMult = 5
+			p.DomainSpreadRate = 0
+			p.Placement = placement
+		})
+	}
+	return shapes
+}
+
+func fmtShape(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
