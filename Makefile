@@ -13,7 +13,7 @@
 #                variant that runs inside `make test`
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-json lint-models fuzz-smoke crosscheck
+.PHONY: ci vet build test race bench bench-json perf-smoke lint-models fuzz-smoke crosscheck
 
 ci: vet build test race
 
@@ -42,10 +42,20 @@ crosscheck:
 	CROSSCHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckFull -count=1 -v
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim
 
 # bench-json runs the benchmark suite and archives the results as
 # BENCH_<date>.json (name, ns/op, reps, allocation stats, custom metrics)
-# for diffing across commits. See cmd/benchjson.
+# for diffing across commits. See cmd/benchjson. Set BENCHJSON_FLAGS to
+# pass options through, e.g.
+#   make bench-json BENCHJSON_FLAGS='-o BENCH_PR4.json -baseline BENCH_old.json'
+# to write a named report embedding a before/after comparison.
 bench-json:
-	$(GO) test -bench=. -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim | $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS)
+
+# perf-smoke is the fast CI lane: one iteration of the engine hot-path
+# benchmarks plus one full figure panel, enough to catch a build break or a
+# gross allocation regression without the cost of the full suite.
+perf-smoke:
+	$(GO) test -bench 'BenchmarkEngine(Step|Replication)' -benchtime 1x -benchmem -run=^$$ ./internal/sim
+	$(GO) test -bench 'BenchmarkFig3aUnavailability' -benchtime 1x -benchmem -run=^$$ .

@@ -9,6 +9,11 @@
 // report panel endpoints that way); the goos/goarch/cpu header lines are
 // carried into the report envelope. `make bench-json` runs the whole
 // pipeline.
+//
+// -baseline embeds a prior report into the output and adds a per-benchmark
+// comparison (ns/op before/after, speedup percent, allocs/op before/after),
+// printed as a table and stored under "deltas", so one file documents a
+// before/after measurement.
 package main
 
 import (
@@ -49,6 +54,57 @@ type Report struct {
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// BaselineDate and Baseline carry a prior report passed via -baseline,
+	// and Deltas the per-benchmark comparison against it, so a single file
+	// records both sides of a before/after measurement.
+	BaselineDate string      `json:"baseline_date,omitempty"`
+	Baseline     []Benchmark `json:"baseline,omitempty"`
+	Deltas       []Delta     `json:"deltas,omitempty"`
+}
+
+// Delta compares one benchmark present in both the current run and the
+// -baseline report.
+type Delta struct {
+	Name string `json:"name"`
+	// BaselineNsPerOp and NsPerOp are the before/after times.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	// SpeedupPct is the relative ns/op improvement in percent:
+	// (baseline-current)/baseline*100, negative for a regression.
+	SpeedupPct float64 `json:"speedup_pct"`
+	// BaselineAllocsPerOp and AllocsPerOp are the before/after allocation
+	// counts.
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+}
+
+// compare matches current benchmarks against the baseline by name (first
+// occurrence wins) and computes the relative ns/op change for each pair.
+// Benchmarks present on only one side are omitted.
+func compare(baseline, current []Benchmark) []Delta {
+	base := make(map[string]Benchmark, len(baseline))
+	for _, b := range baseline {
+		if _, ok := base[b.Name]; !ok {
+			base[b.Name] = b
+		}
+	}
+	var deltas []Delta
+	for _, c := range current {
+		b, ok := base[c.Name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		delete(base, c.Name)
+		deltas = append(deltas, Delta{
+			Name:                c.Name,
+			BaselineNsPerOp:     b.NsPerOp,
+			NsPerOp:             c.NsPerOp,
+			SpeedupPct:          (b.NsPerOp - c.NsPerOp) / b.NsPerOp * 100,
+			BaselineAllocsPerOp: b.AllocsPerOp,
+			AllocsPerOp:         c.AllocsPerOp,
+		})
+	}
+	return deltas
 }
 
 // parseBenchLine parses one benchmark result line, reporting ok=false for
@@ -118,6 +174,7 @@ func parse(r io.Reader, now time.Time) (*Report, error) {
 
 func main() {
 	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
+	baseline := flag.String("baseline", "", "prior BENCH_*.json to embed and compare against")
 	flag.Parse()
 	path := *out
 	if path == "" {
@@ -131,6 +188,26 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (pipe `go test -bench` output in)")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		rep.BaselineDate = base.Date
+		rep.Baseline = base.Benchmarks
+		rep.Deltas = compare(base.Benchmarks, rep.Benchmarks)
+		for _, d := range rep.Deltas {
+			fmt.Printf("%-40s %14.0f -> %12.0f ns/op  %+7.1f%%  allocs %10.0f -> %8.0f\n",
+				d.Name, d.BaselineNsPerOp, d.NsPerOp, d.SpeedupPct,
+				d.BaselineAllocsPerOp, d.AllocsPerOp)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -65,6 +65,30 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 	}
 }
 
+func TestCompare(t *testing.T) {
+	baseline := []Benchmark{
+		{Name: "A", NsPerOp: 200, AllocsPerOp: 1000},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 50},
+		{Name: "OnlyBaseline", NsPerOp: 10},
+		{Name: "Zero", NsPerOp: 0},
+	}
+	current := []Benchmark{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "B", NsPerOp: 150, AllocsPerOp: 50},
+		{Name: "Zero", NsPerOp: 5},
+		{Name: "OnlyCurrent", NsPerOp: 7},
+	}
+	want := []Delta{
+		{Name: "A", BaselineNsPerOp: 200, NsPerOp: 100, SpeedupPct: 50,
+			BaselineAllocsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "B", BaselineNsPerOp: 100, NsPerOp: 150, SpeedupPct: -50,
+			BaselineAllocsPerOp: 50, AllocsPerOp: 50},
+	}
+	if got := compare(baseline, current); !reflect.DeepEqual(got, want) {
+		t.Fatalf("compare:\n%+v\nwant:\n%+v", got, want)
+	}
+}
+
 // TestParseBenchLineNameWithDash pins the GOMAXPROCS-suffix heuristic: a
 // dash followed by something non-numeric belongs to the name.
 func TestParseBenchLineNameWithDash(t *testing.T) {

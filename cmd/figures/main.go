@@ -29,6 +29,9 @@
 // root seed). Replications that panic or hang past -rep-deadline are
 // recorded with their reproducing seed and the sweep continues, as long as
 // the per-point failure fraction stays under -max-failure-frac.
+//
+// -cpuprofile, -memprofile, and -trace write pprof CPU/heap profiles and a
+// runtime execution trace for the whole run, flushed on every exit path.
 package main
 
 import (
@@ -43,10 +46,17 @@ import (
 	"syscall"
 	"time"
 
+	"ituaval/internal/prof"
 	"ituaval/internal/study"
 )
 
+// main delegates to run so deferred cleanup — notably flushing the
+// profiling collectors — executes before the process exits.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	reps := flag.Int("reps", 2000, "replications per sweep point")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores)")
@@ -59,6 +69,9 @@ func main() {
 	absHW := flag.Float64("abs-precision", 0, "absolute 95% half-width target per measure (0 = none)")
 	maxReps := flag.Int("max-reps", 0, "replication cap per sweep point in precision mode (0 = 16x -reps)")
 	paired := flag.Bool("paired", false, "use the CRN-paired variant of experiments that have one (fig5 -> fig5-paired)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: %s [flags] [experiment ...]\nexperiments: %s\nflags:\n",
@@ -67,25 +80,35 @@ func main() {
 	}
 	flag.Parse()
 
-	fatal := func(format string, args ...any) {
+	warn := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
-		os.Exit(1)
 	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		warn("%v", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			warn("%v", err)
+		}
+	}()
 
 	if *resume && *ckptPath == "" {
 		*ckptPath = "figures.ckpt.json"
 	}
 	var ck *study.Checkpoint
 	if *ckptPath != "" {
-		var err error
 		ck, err = study.OpenCheckpoint(*ckptPath, *resume)
 		if err != nil {
-			fatal("%v", err)
+			warn("%v", err)
+			return 1
 		}
 		if rec := ck.Recovery(); rec.Damaged() {
 			// Tamper-evident resume: damaged or stale entries were dropped
 			// (those points will be recomputed) and the original file kept.
-			fmt.Fprintf(os.Stderr, "figures: %s\n", rec)
+			warn("%s", rec)
 		}
 	}
 
@@ -124,39 +147,50 @@ func main() {
 		fig, err := study.RunContext(ctx, id, cfg)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
-				fmt.Fprintf(os.Stderr, "figures: interrupted during %s\n", id)
+				warn("interrupted during %s", id)
 				if ck != nil {
-					fmt.Fprintf(os.Stderr,
-						"figures: %d completed sweep point(s) checkpointed in %s; rerun with -resume -checkpoint %s to continue\n",
+					warn("%d completed sweep point(s) checkpointed in %s; rerun with -resume -checkpoint %s to continue",
 						ck.Len(), *ckptPath, *ckptPath)
 				} else {
-					fmt.Fprintf(os.Stderr, "figures: no checkpoint was configured; rerun with -checkpoint to make sweeps resumable\n")
+					warn("no checkpoint was configured; rerun with -checkpoint to make sweeps resumable")
 				}
-				os.Exit(130)
+				return 130
 			}
-			fatal("%s: %v", id, err)
+			warn("%s: %v", id, err)
+			return 1
 		}
 		if err := fig.WriteText(os.Stdout); err != nil {
-			fatal("%v", err)
+			warn("%v", err)
+			return 1
 		}
 		fmt.Printf("\n[%s completed in %v with %d reps/point]\n\n", id, time.Since(start).Round(time.Millisecond), *reps)
 		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fatal("%v", err)
+			if err := writeCSV(fig, *csvDir, id); err != nil {
+				warn("%v", err)
+				return 1
 			}
-			path := filepath.Join(*csvDir, id+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				fatal("%v", err)
-			}
-			if err := fig.WriteCSV(f); err != nil {
-				f.Close()
-				fatal("%v", err)
-			}
-			if err := f.Close(); err != nil {
-				fatal("%v", err)
-			}
-			fmt.Printf("[wrote %s]\n", path)
 		}
 	}
+	return 0
+}
+
+// writeCSV writes one experiment's CSV file into dir.
+func writeCSV(fig *study.Figure, dir, id string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fig.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
 }

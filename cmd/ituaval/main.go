@@ -17,6 +17,9 @@
 // firing budget, 14 invariant violation, 15 livelock; 0 means the
 // replication completed cleanly.
 //
+// -cpuprofile, -memprofile, and -trace write pprof CPU/heap profiles and a
+// runtime execution trace for the whole run, flushed on every exit path.
+//
 // Example:
 //
 //	ituaval -domains 10 -hosts 3 -apps 4 -reps 7 -policy domain \
@@ -34,11 +37,18 @@ import (
 
 	"ituaval/internal/core"
 	"ituaval/internal/integrity"
+	"ituaval/internal/prof"
 	"ituaval/internal/reward"
 	"ituaval/internal/sim"
 )
 
+// main delegates to run so deferred cleanup — notably flushing the
+// profiling collectors — executes before the process exits.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		domains = flag.Int("domains", 12, "number of security domains")
 		hosts   = flag.Int("hosts", 1, "hosts per security domain")
@@ -61,8 +71,23 @@ func main() {
 		replay      = flag.Int("replay", -1, "re-execute only the given replication index and report its outcome")
 		invariants  = flag.Bool("invariants", false, "monitor the model's conservation laws during every replication (violations abort the replication, classified)")
 		invEvery    = flag.Int64("invariants-every", 0, "check invariants every N events (0 = engine default)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
+		}
+	}()
 
 	p := core.DefaultParams()
 	p.NumDomains = *domains
@@ -81,13 +106,13 @@ func main() {
 		p.Policy = core.HostExclusion
 	default:
 		fmt.Fprintf(os.Stderr, "ituaval: unknown policy %q\n", *policy)
-		os.Exit(2)
+		return 2
 	}
 
 	m, err := core.Build(p)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	T := *horizon
 	vars := []reward.Var{
@@ -118,10 +143,10 @@ func main() {
 			if ferr.Stack != "" {
 				fmt.Printf("\n%s\n", ferr.Stack)
 			}
-			os.Exit(ferr.Kind.ExitCode())
+			return ferr.Kind.ExitCode()
 		}
 		fmt.Printf("replication %d (seed %d): completed cleanly\n", *replay, *seed)
-		return
+		return 0
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -130,18 +155,16 @@ func main() {
 	res, err := sim.RunContext(ctx, spec)
 	interrupted := err != nil && errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
-		if res != nil && res.Completed > 0 {
-			// Over-threshold failures: report the error but still print the
-			// surviving estimates below.
-			fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
-		} else {
-			fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
-			os.Exit(1)
+		// Over-threshold failures: report the error but still print any
+		// surviving estimates below.
+		fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
+		if res == nil || res.Completed == 0 {
+			return 1
 		}
 	}
 	if res == nil {
 		fmt.Fprintf(os.Stderr, "ituaval: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("%s\n", m.SAN.Summary())
@@ -165,6 +188,7 @@ func main() {
 		fmt.Printf("reproduce one with: ituaval [same flags] -replay <rep>\n")
 	}
 	if interrupted {
-		os.Exit(130)
+		return 130
 	}
+	return 0
 }

@@ -149,11 +149,7 @@ func Compare(ctx context.Context, specA, specB sim.Spec, opts Opts) (*Comparison
 	for total < max {
 		reps := nextBatch(total, initial, max, growth, specA.Antithetic)
 		first := specA.FirstRep + total
-		if err := runBatch(ctx, specA, first, reps, &out.A); err != nil {
-			out.finish(shared, idxA, idxB, level)
-			return out, err
-		}
-		if err := runBatch(ctx, specB, first, reps, &out.B); err != nil {
+		if err := runBatches(ctx, specA, specB, first, reps, &out.A, &out.B); err != nil {
 			out.finish(shared, idxA, idxB, level)
 			return out, err
 		}
@@ -170,20 +166,33 @@ func Compare(ctx context.Context, specA, specB sim.Spec, opts Opts) (*Comparison
 	return out, nil
 }
 
-// runBatch runs one batch of spec at the given absolute offset and merges
-// it into *acc.
-func runBatch(ctx context.Context, spec sim.Spec, first, reps int, acc **sim.Results) error {
-	spec.FirstRep = first
-	spec.Reps = reps
-	batch, err := sim.RunContext(ctx, spec)
-	if batch != nil {
-		if *acc == nil {
-			*acc = batch
-		} else if merr := (*acc).Merge(batch); merr != nil && err == nil {
-			err = merr
+// runBatches runs one batch of both arms at the given absolute offset on a
+// single shared worker pool (sim.RunFlat) and merges each into its
+// accumulator. Sharing the pool halves the per-batch synchronization
+// barriers without changing a bit of the result: both arms retain
+// per-replication values, so each aggregates in replication order no matter
+// how the pool interleaves them. On error the completed work of both arms is
+// still merged, so the caller's partial comparison stays paired.
+func runBatches(ctx context.Context, specA, specB sim.Spec, first, reps int, accA, accB **sim.Results) error {
+	specA.FirstRep, specA.Reps = first, reps
+	specB.FirstRep, specB.Reps = first, reps
+	frs := sim.RunFlat(ctx, []sim.Spec{specA, specB}, specA.Workers)
+	var firstErr error
+	for i, acc := range []**sim.Results{accA, accB} {
+		fr := frs[i]
+		err := fr.Err
+		if fr.Results != nil {
+			if *acc == nil {
+				*acc = fr.Results
+			} else if merr := (*acc).Merge(fr.Results); merr != nil && err == nil {
+				err = merr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return err
+	return firstErr
 }
 
 // finish recomputes the paired measures from the accumulated results.

@@ -1,0 +1,82 @@
+// Package prof wires the standard library's CPU/heap/trace collectors
+// behind the -cpuprofile/-memprofile/-trace flags the command-line tools
+// share, so a slow figure regeneration can be profiled in place with the
+// usual `go tool pprof` / `go tool trace` workflow.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Start begins the collectors selected by the non-empty file paths: a CPU
+// profile, a heap profile (written at stop time, after a final GC), and a
+// runtime execution trace. It returns a stop function that flushes and
+// closes everything; the caller must run it before the process exits, since
+// the collectors buffer in memory and exiting early truncates the files.
+// os.Exit skips deferred calls, so commands funnel every exit through a
+// single return path. An empty path disables its collector; Start with all
+// three empty returns a no-op stop.
+func Start(cpuFile, memFile, traceFile string) (stop func() error, err error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return nil, err
+	}
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		stops = append(stops, func() error {
+			rtrace.Stop()
+			return f.Close()
+		})
+	}
+	if memFile != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle allocation statistics before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+	}
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

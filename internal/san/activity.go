@@ -95,6 +95,10 @@ type Activity struct {
 	def   ActivityDef
 	id    int
 	model *Model
+	// staticW caches the static case weights (the Prob fields) when the
+	// activity has no CaseWeights function; built once by Finalize so the
+	// per-firing case choice allocates nothing. Never mutated afterwards.
+	staticW []float64
 }
 
 // Name returns the activity name.
@@ -130,10 +134,14 @@ func (a *Activity) Dist(s *State) rng.Dist { return a.def.Dist(s) }
 func (a *Activity) Cases() []Case { return a.def.Cases }
 
 // CaseWeightsIn returns the case weights in state s (marking-dependent if a
-// CaseWeights function was given, else the static Prob values).
+// CaseWeights function was given, else the static Prob values). The static
+// slice is shared across calls; callers must not modify it.
 func (a *Activity) CaseWeightsIn(s *State) []float64 {
 	if a.def.CaseWeights != nil {
 		return a.def.CaseWeights(s)
+	}
+	if a.staticW != nil {
+		return a.staticW
 	}
 	w := make([]float64, len(a.def.Cases))
 	for i, c := range a.def.Cases {

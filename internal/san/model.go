@@ -16,6 +16,7 @@ type Model struct {
 	acts       []*Activity
 	actNames   map[string]*Activity
 	deps       [][]*Activity // place index -> activities reading it
+	instants   []*Activity   // instantaneous activities, creation order
 	initFn     func(ctx *Context)
 	finalized  bool
 	defErrs    []error         // place-construction errors deferred to Finalize
@@ -192,6 +193,16 @@ func (m *Model) Finalize() error {
 				m.deps[p.index] = append(m.deps[p.index], a)
 			}
 		}
+		if a.def.Kind == Instant {
+			m.instants = append(m.instants, a)
+		}
+		if a.def.CaseWeights == nil {
+			w := make([]float64, len(a.def.Cases))
+			for i, c := range a.def.Cases {
+				w[i] = c.Prob
+			}
+			a.staticW = w
+		}
 	}
 	m.finalized = true
 	return nil
@@ -224,16 +235,27 @@ func (m *Model) NewState() *State {
 // s at the highest enabled priority level, in a deterministic order. It
 // returns nil when no instantaneous activity is enabled.
 func (m *Model) MaxInstantPriorityEnabled(s *State) []*Activity {
-	var best []*Activity
+	return m.MaxInstantPriorityEnabledInto(s, nil)
+}
+
+// MaxInstantPriorityEnabledInto is MaxInstantPriorityEnabled appending into
+// buf (which may be nil), so a caller in a hot loop can reuse one scratch
+// slice across calls instead of allocating. The returned slice shares buf's
+// backing array; it is empty (len 0, buf's capacity) when no instantaneous
+// activity is enabled.
+func (m *Model) MaxInstantPriorityEnabledInto(s *State, buf []*Activity) []*Activity {
+	best := buf[:0]
 	bestPrio := 0
-	for _, a := range m.acts {
-		if a.def.Kind != Instant || !a.def.Enabled(s) {
+	found := false
+	for _, a := range m.instants {
+		if !a.def.Enabled(s) {
 			continue
 		}
 		switch {
-		case best == nil || a.def.Priority > bestPrio:
+		case !found || a.def.Priority > bestPrio:
 			best = append(best[:0], a)
 			bestPrio = a.def.Priority
+			found = true
 		case a.def.Priority == bestPrio:
 			best = append(best, a)
 		}

@@ -50,6 +50,7 @@ type State struct {
 	isDirty []bool
 	tracing bool
 	reads   map[int]struct{}
+	readAll bool
 }
 
 // Get returns the marking of p.
@@ -86,7 +87,14 @@ func (s *State) Add(p *Place, d Marking) { s.Set(p, s.m[p.index]+d) }
 
 // Markings returns the raw marking vector. The slice aliases the state; it
 // must not be modified by callers (use Set/Add).
-func (s *State) Markings() []Marking { return s.m }
+func (s *State) Markings() []Marking {
+	if s.tracing {
+		// The caller can read every place through the raw vector; a trace
+		// consumer must treat this as "depends on the whole marking".
+		s.readAll = true
+	}
+	return s.m
+}
 
 // CopyFrom overwrites this state's markings with src's.
 func (s *State) CopyFrom(src *State) {
@@ -121,18 +129,25 @@ func (s *State) Dirty() []int { return s.dirty }
 // mode to check declared dependency lists).
 func (s *State) StartTrace() {
 	s.tracing = true
+	s.readAll = false
 	if s.reads == nil {
 		s.reads = make(map[int]struct{})
 	}
 }
 
 // StopTrace ends read recording and returns the set of read place indices.
+// If the traced code obtained the raw vector via Markings, the set is
+// incomplete; check ReadAllTraced.
 func (s *State) StopTrace() map[int]struct{} {
 	s.tracing = false
 	r := s.reads
 	s.reads = nil
 	return r
 }
+
+// ReadAllTraced reports whether the last trace saw a Markings call (a read
+// of the entire vector). Valid until the next StartTrace.
+func (s *State) ReadAllTraced() bool { return s.readAll }
 
 // Context carries everything an output-gate effect function may use: the
 // state, the replication's random stream, and the current simulation time.

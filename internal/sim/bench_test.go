@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/rng"
+	"ituaval/internal/san"
+)
+
+// benchQueueLen is a resettable time-average-of-marking observer. The
+// production reward observers are built fresh per replication and do not
+// reset their accumulated state on Init, so a benchmark that reuses one
+// observer across replications needs its own — resetting in Init keeps the
+// measured loop allocation-free.
+type benchQueueLen struct {
+	q        *san.Place
+	integral float64
+	start    float64
+	end      float64
+}
+
+func (o *benchQueueLen) Init(s *san.State, t float64) { o.integral, o.start, o.end = 0, t, t }
+func (o *benchQueueLen) Advance(s *san.State, t0, t1 float64) {
+	o.integral += float64(s.Get(o.q)) * (t1 - t0)
+	o.end = t1
+}
+func (o *benchQueueLen) Fired(*san.State, *san.Activity, int, float64) {}
+func (o *benchQueueLen) Done(s *san.State, t float64)                  { o.end = t }
+func (o *benchQueueLen) Results(emit func(float64)) {
+	if o.end > o.start {
+		emit(o.integral / (o.end - o.start))
+	}
+}
+
+// BenchmarkEngineStep measures the per-event cost of the hot loop — sample,
+// schedule, pop, fire, incremental re-enable — with no observers attached.
+func BenchmarkEngineStep(b *testing.B) {
+	m, _ := buildMM1K(b, 2, 3, 10)
+	eng := NewEngine(m, false)
+	stream := rng.New(1).Derive(0)
+	if err := eng.RunOnce(100, stream, nil, 0); err != nil { // warm scratch buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	events := int64(0)
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunOnce(100, stream, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		events += eng.Firings()
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	}
+}
+
+// BenchmarkEngineReplication measures one full observed replication. The
+// acceptance bar for the allocation-free event loop: 0 allocs/op once the
+// engine's scratch buffers are warm.
+func BenchmarkEngineReplication(b *testing.B) {
+	m, q := buildMM1K(b, 2, 3, 10)
+	eng := NewEngine(m, false)
+	stream := rng.New(1).Derive(0)
+	obs := []reward.Observer{&benchQueueLen{q: q}}
+	if err := eng.RunOnce(100, stream, obs, 0); err != nil { // warm scratch buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunOnce(100, stream, obs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

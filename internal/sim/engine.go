@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -28,18 +27,57 @@ type event struct {
 	gen  uint64
 }
 
+// eventHeap is a typed binary min-heap over event values. It deliberately
+// reimplements the sift-up/sift-down of container/heap (same traversal,
+// same strict < comparison) so equal-time events keep the exact pop order
+// the engine has always produced — deterministic-distribution models create
+// ties, and changing their resolution would change sampled trajectories.
+// Going typed removes the two interface{} boxings (Push and Pop) that
+// container/heap charges per event, which were the engine's dominant
+// steady-state allocation.
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push inserts ev, restoring the heap property. Amortized zero allocations
+// once the backing array has grown to the model's concurrency level.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(s[j].time < s[i].time) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// pop removes and returns the minimum element.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift the displaced element down over the first n entries.
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].time < s[j1].time {
+			j = j2
+		}
+		if !(s[j].time < s[i].time) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	ev := s[n]
+	*h = s[:n]
+	return ev
 }
 
 // schedEntry tracks the scheduling status of one timed activity.
@@ -55,11 +93,30 @@ type schedEntry struct {
 type Engine struct {
 	model    *san.Model
 	state    *san.State
+	baseline *san.State // immutable initial marking, copied into state per replication
 	sched    []schedEntry
 	heap     eventHeap
 	now      float64
 	rand     *rng.Stream
 	validate bool
+
+	// distMemo caches, per activity ID, the firing-time distribution of
+	// timed activities whose Dist closure is provably marking-independent
+	// (see probeConstDist): most of the paper's model returns a fixed
+	// rng.Dist, and evaluating the closure on every dependent marking
+	// change both costs a call and re-boxes the distribution value. nil
+	// entries fall back to the closure. Unused in validate mode, which
+	// must keep read-tracing every evaluation.
+	distMemo []rng.Dist
+
+	// ctx is the reusable firing context handed to gate functions; rebound
+	// per replication instead of allocated.
+	ctx san.Context
+
+	// scratch buffers for the instantaneous-race resolution, reused across
+	// firings so steady state allocates nothing.
+	instBuf []*san.Activity
+	raceW   []float64
 
 	// Common-random-numbers mode (UseCRN): instead of drawing every variate
 	// from the single replication stream in event-execution order, each
@@ -95,13 +152,56 @@ func NewEngine(model *san.Model, validate bool) *Engine {
 	if !model.Finalized() {
 		panic("sim: model not finalized")
 	}
-	return &Engine{
+	e := &Engine{
 		model:    model,
 		state:    model.NewState(),
+		baseline: model.NewState(),
 		sched:    make([]schedEntry, len(model.Activities())),
 		stamp:    make([]uint64, len(model.Activities())),
 		validate: validate,
 	}
+	if !validate {
+		e.distMemo = make([]rng.Dist, len(model.Activities()))
+		probe := model.NewState()
+		for _, a := range model.Activities() {
+			if a.Kind() == san.Timed {
+				e.distMemo[a.ID()] = probeConstDist(probe, a)
+			}
+		}
+	}
+	return e
+}
+
+// probeConstDist returns a's firing-time distribution if the Dist closure is
+// provably marking-independent, nil otherwise. The proof is by read tracing
+// on the initial marking: two evaluations that read no place (directly or
+// via the raw Markings vector) and return the identical distribution value
+// cannot depend on the state, so the engine may reuse that value instead of
+// re-invoking the closure. Closures returning fresh pointers (e.g. a new
+// *Empirical per call) fail the identity check and stay unmemoized, which
+// also preserves their (resampling) behavior under ReactivateOnChange.
+func probeConstDist(s *san.State, a *san.Activity) (d rng.Dist) {
+	defer func() {
+		// A panicking closure (state-dependent guard) or an uncomparable
+		// distribution type simply stays unmemoized.
+		if recover() != nil {
+			d = nil
+		}
+	}()
+	s.StartTrace()
+	d1 := a.Dist(s)
+	if reads := s.StopTrace(); len(reads) > 0 || s.ReadAllTraced() {
+		return nil
+	}
+	s.StartTrace()
+	d2 := a.Dist(s)
+	if reads := s.StopTrace(); len(reads) > 0 || s.ReadAllTraced() {
+		return nil
+	}
+	if d1 != d2 {
+		return nil
+	}
+	return d1
 }
 
 // UseCRN switches the engine between single-stream sampling (the default,
@@ -157,8 +257,13 @@ func (e *Engine) enabled(a *san.Activity) bool {
 }
 
 // dist evaluates the activity's distribution, read-tracing in validate mode.
+// Marking-independent distributions come from the per-engine memo instead of
+// re-invoking the closure.
 func (e *Engine) dist(a *san.Activity) rng.Dist {
 	if !e.validate {
+		if d := e.distMemo[a.ID()]; d != nil {
+			return d
+		}
 		return a.Dist(e.state)
 	}
 	e.state.StartTrace()
@@ -191,7 +296,7 @@ func (e *Engine) sample(a *san.Activity, d rng.Dist) {
 	ent.gen++
 	ent.scheduled = true
 	ent.dist = d
-	heap.Push(&e.heap, event{time: e.now + delay, act: a, gen: ent.gen})
+	e.heap.push(event{time: e.now + delay, act: a, gen: ent.gen})
 }
 
 // cancel invalidates a's scheduled event, if any.
@@ -251,26 +356,56 @@ func (e *Engine) processDirty(extra *san.Activity) {
 	e.state.ResetDirty()
 }
 
-// multiObserver fans callbacks out to all reward observers.
-type multiObserver []reward.Observer
+// fanout dispatches trajectory callbacks to the reward observers. It is a
+// plain value, not an interface: the engine's inner loop calls it millions
+// of times per second, and the overwhelmingly common single-observer case
+// (each precision measure runs alone) devirtualizes to one direct call
+// instead of an interface dispatch plus a slice walk.
+type fanout struct {
+	one  reward.Observer   // set iff exactly one observer
+	many []reward.Observer // otherwise
+}
 
-func (m multiObserver) Init(s *san.State, t float64) {
-	for _, o := range m {
+func newFanout(obs []reward.Observer) fanout {
+	if len(obs) == 1 {
+		return fanout{one: obs[0]}
+	}
+	return fanout{many: obs}
+}
+
+func (f fanout) init(s *san.State, t float64) {
+	if f.one != nil {
+		f.one.Init(s, t)
+		return
+	}
+	for _, o := range f.many {
 		o.Init(s, t)
 	}
 }
-func (m multiObserver) Advance(s *san.State, t0, t1 float64) {
-	for _, o := range m {
+func (f fanout) advance(s *san.State, t0, t1 float64) {
+	if f.one != nil {
+		f.one.Advance(s, t0, t1)
+		return
+	}
+	for _, o := range f.many {
 		o.Advance(s, t0, t1)
 	}
 }
-func (m multiObserver) Fired(s *san.State, a *san.Activity, c int, t float64) {
-	for _, o := range m {
+func (f fanout) fired(s *san.State, a *san.Activity, c int, t float64) {
+	if f.one != nil {
+		f.one.Fired(s, a, c, t)
+		return
+	}
+	for _, o := range f.many {
 		o.Fired(s, a, c, t)
 	}
 }
-func (m multiObserver) Done(s *san.State, t float64) {
-	for _, o := range m {
+func (f fanout) done(s *san.State, t float64) {
+	if f.one != nil {
+		f.one.Done(s, t)
+		return
+	}
+	for _, o := range f.many {
 		o.Done(s, t)
 	}
 }
@@ -315,10 +450,13 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 		e.sched[i].scheduled = false
 		e.sched[i].gen++
 	}
-	fresh := e.model.NewState()
-	e.state.CopyFrom(fresh)
+	// Reset to the initial marking from the engine's cached baseline: the
+	// per-replication model.NewState() this replaces was one of the last
+	// allocations on the replication path.
+	e.state.CopyFrom(e.baseline)
 
-	ctx := &san.Context{State: e.state, Rand: e.rand, Now: 0}
+	ctx := &e.ctx
+	ctx.State, ctx.Rand, ctx.Now = e.state, e.rand, 0
 	if e.crn {
 		ctx.Rand = e.initStream
 	}
@@ -337,8 +475,8 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 		invEvery = DefaultInvariantEvery
 	}
 	nextInvCheck := invEvery
-	watch := multiObserver(obs)
-	watch.Init(e.state, 0)
+	watch := newFanout(obs)
+	watch.init(e.state, 0)
 
 	// Initial schedule: every timed activity is a candidate.
 	e.curStamp++
@@ -354,17 +492,17 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 		ev := e.heap[0]
 		ent := &e.sched[ev.act.ID()]
 		if !ent.scheduled || ent.gen != ev.gen {
-			heap.Pop(&e.heap) // stale
+			e.heap.pop() // stale
 			continue
 		}
 		if ev.time > until {
 			break
 		}
-		heap.Pop(&e.heap)
+		e.heap.pop()
 		ent.scheduled = false
 
 		if ev.time > e.now {
-			watch.Advance(e.state, e.now, ev.time)
+			watch.advance(e.state, e.now, ev.time)
 			e.now = ev.time
 		}
 		ctx.Now = e.now
@@ -373,7 +511,7 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 		caseIdx := ev.act.ChooseCase(ctx)
 		ev.act.Fire(ctx, caseIdx)
 		e.firings++
-		watch.Fired(e.state, ev.act, caseIdx, e.now)
+		watch.fired(e.state, ev.act, caseIdx, e.now)
 
 		// Resolve instantaneous activities, reporting each vanishing
 		// marking to observers (zero-width, so rate rewards are
@@ -383,7 +521,8 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 		// than left to burn through the firing budget.
 		var chain int64
 		for {
-			enabled := e.model.MaxInstantPriorityEnabled(e.state)
+			enabled := e.model.MaxInstantPriorityEnabledInto(e.state, e.instBuf)
+			e.instBuf = enabled[:0]
 			if len(enabled) == 0 {
 				break
 			}
@@ -391,10 +530,11 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 			if len(enabled) == 1 {
 				a = enabled[0]
 			} else {
-				weights := make([]float64, len(enabled))
-				for i, en := range enabled {
-					weights[i] = en.Weight()
+				weights := e.raceW[:0]
+				for _, en := range enabled {
+					weights = append(weights, en.Weight())
 				}
+				e.raceW = weights[:0]
 				race := e.rand
 				if e.crn {
 					race = e.raceStream
@@ -406,7 +546,7 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 			a.Fire(ctx, ci)
 			e.firings++
 			chain++
-			watch.Fired(e.state, a, ci, e.now)
+			watch.fired(e.state, a, ci, e.now)
 			if chain > maxInstantChain {
 				return &LivelockError{Chain: chain, At: e.now, Last: a.Name()}
 			}
@@ -439,12 +579,12 @@ func (e *Engine) RunOnceCtx(runCtx context.Context, until float64, stream *rng.S
 	}
 
 	if until > e.now {
-		watch.Advance(e.state, e.now, until)
+		watch.advance(e.state, e.now, until)
 		e.now = until
 	}
 	if err := e.checkInvariants(); err != nil {
 		return err
 	}
-	watch.Done(e.state, e.now)
+	watch.done(e.state, e.now)
 	return nil
 }

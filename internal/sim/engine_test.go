@@ -13,7 +13,7 @@ import (
 // buildMM1K constructs an M/M/1/K queue as a SAN: place q holds the queue
 // length; arrive (rate lambda) is enabled while q < K; serve (rate mu) while
 // q > 0.
-func buildMM1K(t *testing.T, lambda, mu float64, k int) (*san.Model, *san.Place) {
+func buildMM1K(t testing.TB, lambda, mu float64, k int) (*san.Model, *san.Place) {
 	t.Helper()
 	m := san.NewModel("mm1k")
 	q := m.Place("q", 0)
@@ -86,7 +86,7 @@ func TestMM1KAgainstAnalytic(t *testing.T) {
 
 // buildTwoState builds a failure/repair model: up=1 initially, fail rate
 // lambda, repair rate mu.
-func buildTwoState(t *testing.T, lambda, mu float64) (*san.Model, *san.Place) {
+func buildTwoState(t testing.TB, lambda, mu float64) (*san.Model, *san.Place) {
 	t.Helper()
 	m := san.NewModel("twostate")
 	up := m.Place("up", 1)

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ituaval/internal/rng"
+)
+
+// FlatResult is RunFlat's outcome for one spec: exactly the (*Results, error)
+// pair RunContext would have returned for it.
+type FlatResult struct {
+	// Results is non-nil whenever the spec was valid, even when Err != nil,
+	// so callers can always salvage completed work.
+	Results *Results
+	// Err is the spec's validation error, ctx.Err() after cancellation, or
+	// the failure-tolerance breach — nil on clean completion.
+	Err error
+}
+
+// RunFlat executes several independent studies on one shared worker pool.
+// The (spec, replication) pairs of all specs are flattened into a single
+// work stream, so a sweep of many small points keeps every worker busy to
+// the end instead of paying a synchronization barrier per point.
+//
+// Each result is bit-identical to RunContext(ctx, spec) at Workers == 1 —
+// replication j of every spec draws from the same derived stream and
+// aggregation runs in replication order — and therefore independent of the
+// worker count. (RunContext's non-per-rep results at Workers > 1 aggregate
+// in a worker-strided order instead, so those are the one combination
+// RunFlat intentionally does not reproduce.)
+//
+// workers <= 0 selects GOMAXPROCS. Cancelling ctx stops the stream
+// gracefully: unattempted replications count as Skipped and every valid
+// spec's Err becomes ctx.Err().
+func RunFlat(ctx context.Context, specs []Spec, workers int) []FlatResult {
+	out := make([]FlatResult, len(specs))
+	// Per-spec mutable state, indexed by batch-local replication. Workers
+	// write disjoint slots, so no lock is needed.
+	type flatPoint struct {
+		spec    *Spec
+		root    *rng.Stream
+		repVals [][][]float64
+		repFir  []int64
+		repErr  []*ReplicationError
+	}
+	pts := make([]*flatPoint, len(specs))
+	// starts[i] is the first flat unit index of spec i; invalid specs own an
+	// empty range. The owning spec of unit u is the last i with starts[i] <= u.
+	starts := make([]int, len(specs)+1)
+	for si := range specs {
+		starts[si+1] = starts[si]
+		if err := specs[si].validate(); err != nil {
+			out[si].Err = err
+			continue
+		}
+		sp := &specs[si]
+		pts[si] = &flatPoint{
+			spec:    sp,
+			root:    rng.New(sp.Seed),
+			repVals: make([][][]float64, sp.Reps),
+			repFir:  make([]int64, sp.Reps),
+			repErr:  make([]*ReplicationError, sp.Reps),
+		}
+		starts[si+1] += sp.Reps
+	}
+	total := starts[len(specs)]
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One engine per spec per worker, built lazily: specs can differ
+			// in model, CRN mode, and invariants.
+			engines := make([]*Engine, len(specs))
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= total {
+					return
+				}
+				if ctx.Err() != nil {
+					// Drain the stream; unattempted slots stay nil and are
+					// accounted as skipped below.
+					continue
+				}
+				si := sort.SearchInts(starts, u+1) - 1
+				pt := pts[si]
+				rep := u - starts[si]
+				eng := engines[si]
+				if eng == nil {
+					eng = NewEngine(pt.spec.Model, pt.spec.Validate)
+					eng.UseCRN(pt.spec.CRN)
+					eng.SetInvariants(pt.spec.Invariants, pt.spec.InvariantEvery)
+					engines[si] = eng
+				}
+				abs := pt.spec.FirstRep + rep
+				vals, firings, ferr := runReplication(ctx, eng, pt.spec, repStream(pt.spec, pt.root, abs), abs)
+				if ferr != nil {
+					if !errors.Is(ferr.Err, context.Canceled) {
+						pt.repErr[rep] = ferr
+					}
+					continue
+				}
+				pt.repVals[rep] = vals
+				pt.repFir[rep] = firings
+			}
+		}()
+	}
+	wg.Wait()
+
+	for si := range specs {
+		pt := pts[si]
+		if pt == nil {
+			continue // invalid spec; Err already set
+		}
+		var firings int64
+		completed, skipped := 0, 0
+		var failures []ReplicationError
+		for rep := range pt.repVals {
+			switch {
+			case pt.repVals[rep] != nil:
+				completed++
+				firings += pt.repFir[rep]
+			case pt.repErr[rep] != nil:
+				failures = append(failures, *pt.repErr[rep])
+			default:
+				skipped++
+			}
+		}
+		res := aggregateRepOrder(pt.spec, pt.repVals, firings, completed, skipped, failures)
+		out[si] = FlatResult{Results: res, Err: finishErr(ctx, pt.spec, res)}
+	}
+	return out
+}

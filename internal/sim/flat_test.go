@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"ituaval/internal/reward"
+	"ituaval/internal/san"
+)
+
+// flatTestSpecs builds a mixed batch of studies over two different models
+// and several spec shapes (plain, KeepPerRep, CRN, quantiles), the space
+// RunFlat must reproduce bit-for-bit.
+func flatTestSpecs(t testing.TB) []Spec {
+	mq, q := buildMM1K(t, 2, 3, 5)
+	mt2, up := buildTwoState(t, 0.5, 2)
+	qLen := func(s *san.State) float64 { return float64(s.Get(q)) }
+	down := func(s *san.State) float64 { return 1 - float64(s.Get(up)) }
+	return []Spec{
+		{Model: mq, Until: 40, Reps: 30, Seed: 11,
+			Vars: []reward.Var{&reward.TimeAverage{VarName: "len", F: qLen, From: 0, To: 40}}},
+		{Model: mt2, Until: 25, Reps: 40, Seed: 12, KeepPerRep: true,
+			Vars: []reward.Var{&reward.TimeAverage{VarName: "down", F: down, From: 0, To: 25}}},
+		{Model: mq, Until: 30, Reps: 20, Seed: 13, CRN: true,
+			Vars: []reward.Var{&reward.TimeAverage{VarName: "len", F: qLen, From: 0, To: 30}}},
+		{Model: mt2, Until: 25, Reps: 24, Seed: 14, Quantiles: []float64{0.25, 0.5, 0.9},
+			Vars: []reward.Var{&reward.TimeAverage{VarName: "down", F: down, From: 0, To: 25}}},
+		{Model: mq, Until: 15, Reps: 16, Seed: 15, Antithetic: true,
+			Vars: []reward.Var{&reward.TimeAverage{VarName: "len", F: qLen, From: 0, To: 15}}},
+	}
+}
+
+// requireSameResults asserts bit-identical estimates and identical
+// replication accounting between two results of the same spec.
+func requireSameResults(t *testing.T, label string, want, got *Results) {
+	t.Helper()
+	if got.Reps != want.Reps || got.Completed != want.Completed ||
+		got.Failed != want.Failed || got.Skipped != want.Skipped ||
+		got.TotalFirings != want.TotalFirings {
+		t.Fatalf("%s: accounting differs: got %d/%d/%d/%d firings=%d, want %d/%d/%d/%d firings=%d",
+			label, got.Reps, got.Completed, got.Failed, got.Skipped, got.TotalFirings,
+			want.Reps, want.Completed, want.Failed, want.Skipped, want.TotalFirings)
+	}
+	if len(got.Estimates) != len(want.Estimates) {
+		t.Fatalf("%s: %d estimates, want %d", label, len(got.Estimates), len(want.Estimates))
+	}
+	for i := range want.Estimates {
+		w, g := want.Estimates[i], got.Estimates[i]
+		if g.Name != w.Name || g.N != w.N ||
+			math.Float64bits(g.Mean) != math.Float64bits(w.Mean) ||
+			math.Float64bits(g.HalfWidth95) != math.Float64bits(w.HalfWidth95) {
+			t.Fatalf("%s: estimate %q differs: got %+v, want %+v", label, w.Name, g, w)
+		}
+		for qi := range w.Quantiles {
+			if math.Float64bits(g.Quantiles[qi]) != math.Float64bits(w.Quantiles[qi]) {
+				t.Fatalf("%s: %q quantile %d differs: got %v, want %v",
+					label, w.Name, qi, g.Quantiles[qi], w.Quantiles[qi])
+			}
+		}
+	}
+	for i := range want.PerRep {
+		for j := range want.PerRep[i] {
+			if math.Float64bits(got.PerRep[i][j]) != math.Float64bits(want.PerRep[i][j]) {
+				t.Fatalf("%s: PerRep[%d][%d] differs: got %v, want %v",
+					label, i, j, got.PerRep[i][j], want.PerRep[i][j])
+			}
+		}
+	}
+}
+
+// TestRunFlatMatchesRunContext is the flattened scheduler's core contract:
+// for every spec shape, RunFlat at any worker count returns exactly what
+// RunContext returns at Workers = 1 — same bits, same accounting.
+func TestRunFlatMatchesRunContext(t *testing.T) {
+	specs := flatTestSpecs(t)
+	want := make([]*Results, len(specs))
+	for i, spec := range specs {
+		spec.Workers = 1
+		res, err := RunContext(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{1, 3, 8} {
+		frs := RunFlat(context.Background(), flatTestSpecs(t), workers)
+		for i, fr := range frs {
+			if fr.Err != nil {
+				t.Fatalf("workers=%d spec %d: %v", workers, i, fr.Err)
+			}
+			requireSameResults(t, fmt.Sprintf("workers=%d spec %d", workers, i),
+				want[i], fr.Results)
+		}
+	}
+}
+
+// TestRunFlatInvalidSpec checks that invalid specs report their validation
+// error without simulating, while the valid specs in the same batch run
+// normally.
+func TestRunFlatInvalidSpec(t *testing.T) {
+	m, q := buildMM1K(t, 2, 3, 5)
+	valid := Spec{Model: m, Until: 10, Reps: 8, Seed: 1,
+		Vars: []reward.Var{&reward.TimeAverage{VarName: "len",
+			F: func(s *san.State) float64 { return float64(s.Get(q)) }, From: 0, To: 10}}}
+	invalid := valid
+	invalid.Reps = 0
+	frs := RunFlat(context.Background(), []Spec{invalid, valid}, 2)
+	if frs[0].Err == nil || frs[0].Results != nil {
+		t.Fatalf("invalid spec: got (%v, %v), want validation error and nil results",
+			frs[0].Results, frs[0].Err)
+	}
+	if frs[1].Err != nil {
+		t.Fatalf("valid spec alongside invalid one failed: %v", frs[1].Err)
+	}
+	if frs[1].Results.Completed != valid.Reps {
+		t.Fatalf("valid spec completed %d of %d", frs[1].Results.Completed, valid.Reps)
+	}
+}
+
+// TestRunFlatCancellation checks the skip accounting: with the context
+// already cancelled, no replication runs, every valid spec reports
+// ctx.Err(), and Reps == Skipped.
+func TestRunFlatCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := flatTestSpecs(t)
+	frs := RunFlat(ctx, specs, 4)
+	for i, fr := range frs {
+		if fr.Err != context.Canceled {
+			t.Fatalf("spec %d: err = %v, want context.Canceled", i, fr.Err)
+		}
+		res := fr.Results
+		if res == nil || res.Completed != 0 || res.Failed != 0 || res.Skipped != specs[i].Reps {
+			t.Fatalf("spec %d: results %+v, want all %d replications skipped", i, res, specs[i].Reps)
+		}
+	}
+}
+
+// TestRunFlatEmpty covers the degenerate inputs: no specs, and a batch of
+// only-invalid specs.
+func TestRunFlatEmpty(t *testing.T) {
+	if frs := RunFlat(context.Background(), nil, 4); len(frs) != 0 {
+		t.Fatalf("RunFlat(nil) = %v", frs)
+	}
+	frs := RunFlat(context.Background(), []Spec{{}}, 4)
+	if len(frs) != 1 || frs[0].Err == nil {
+		t.Fatalf("all-invalid batch: %+v", frs)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is a container/heap reference implementation with the same strict
+// time-< ordering the engine's typed heap uses. The typed heap must
+// reproduce its pop sequence exactly — including the resolution of
+// equal-time ties, which deterministic-distribution models create and whose
+// order is part of the engine's trajectory determinism.
+type refHeap []event
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old) - 1
+	ev := old[n]
+	*h = old[:n]
+	return ev
+}
+
+// TestEventHeapMatchesContainerHeap drives both heaps through long random
+// push/pop sequences, with a coarse time grid to force many ties, and
+// requires identical events (time AND identity) at every pop.
+func TestEventHeapMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var typed eventHeap
+		var ref refHeap
+		gen := uint64(0)
+		for op := 0; op < 400; op++ {
+			if len(ref) == 0 || rng.Intn(3) != 0 {
+				gen++
+				// Few distinct times => frequent ties; gen disambiguates
+				// identity so a tie broken differently is caught.
+				ev := event{time: float64(rng.Intn(8)), gen: gen}
+				typed.push(ev)
+				heap.Push(&ref, ev)
+			} else {
+				got := typed.pop()
+				want := heap.Pop(&ref).(event)
+				if got != want {
+					t.Fatalf("trial %d op %d: pop = {t=%v gen=%d}, want {t=%v gen=%d}",
+						trial, op, got.time, got.gen, want.time, want.gen)
+				}
+			}
+			if len(typed) != len(ref) {
+				t.Fatalf("trial %d op %d: lengths diverged %d vs %d", trial, op, len(typed), len(ref))
+			}
+		}
+		// Drain: the full remaining order must agree too.
+		for len(ref) > 0 {
+			got := typed.pop()
+			want := heap.Pop(&ref).(event)
+			if got != want {
+				t.Fatalf("trial %d drain: pop = {t=%v gen=%d}, want {t=%v gen=%d}",
+					trial, got.time, got.gen, want.time, want.gen)
+			}
+		}
+		if len(typed) != 0 {
+			t.Fatalf("trial %d: typed heap not empty after drain", trial)
+		}
+	}
+}
+
+// TestEventHeapSortedOutput is the classic heap property: pushing random
+// times and draining yields a non-decreasing sequence.
+func TestEventHeapSortedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	for i := 0; i < 1000; i++ {
+		h.push(event{time: rng.Float64()})
+	}
+	prev := -1.0
+	for len(h) > 0 {
+		ev := h.pop()
+		if ev.time < prev {
+			t.Fatalf("pop went backwards: %v after %v", ev.time, prev)
+		}
+		prev = ev.time
+	}
+}

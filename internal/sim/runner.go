@@ -104,6 +104,33 @@ type Spec struct {
 // perRep reports whether the spec needs per-replication values retained.
 func (s *Spec) perRep() bool { return s.KeepPerRep || s.Antithetic }
 
+// validate checks the spec's static requirements, shared by RunContext and
+// RunFlat.
+func (s *Spec) validate() error {
+	if s.Model == nil || !s.Model.Finalized() {
+		return errors.New("sim: Spec.Model must be a finalized model")
+	}
+	if s.Reps < 1 {
+		return fmt.Errorf("sim: Reps must be >= 1, got %d", s.Reps)
+	}
+	if s.Until <= 0 {
+		return fmt.Errorf("sim: Until must be > 0, got %v", s.Until)
+	}
+	if s.FirstRep < 0 {
+		return fmt.Errorf("sim: FirstRep must be >= 0, got %d", s.FirstRep)
+	}
+	if s.Antithetic {
+		if s.FirstRep%2 != 0 || s.Reps%2 != 0 {
+			return fmt.Errorf("sim: Antithetic requires even FirstRep and Reps, got %d and %d",
+				s.FirstRep, s.Reps)
+		}
+		if len(s.Quantiles) > 0 {
+			return errors.New("sim: Antithetic cannot be combined with Quantiles")
+		}
+	}
+	return nil
+}
+
 // repStream derives the random stream of the replication with absolute
 // index rep. It is the single point coupling the runner, Replay, and the
 // antithetic pairing, so all three stay bit-identical.
@@ -325,26 +352,8 @@ func runReplication(ctx context.Context, eng *Engine, spec *Spec, stream *rng.St
 // The returned *Results is non-nil whenever the spec itself is valid, even
 // when err != nil, so callers can always salvage completed work.
 func RunContext(ctx context.Context, spec Spec) (*Results, error) {
-	if spec.Model == nil || !spec.Model.Finalized() {
-		return nil, errors.New("sim: Spec.Model must be a finalized model")
-	}
-	if spec.Reps < 1 {
-		return nil, fmt.Errorf("sim: Reps must be >= 1, got %d", spec.Reps)
-	}
-	if spec.Until <= 0 {
-		return nil, fmt.Errorf("sim: Until must be > 0, got %v", spec.Until)
-	}
-	if spec.FirstRep < 0 {
-		return nil, fmt.Errorf("sim: FirstRep must be >= 0, got %d", spec.FirstRep)
-	}
-	if spec.Antithetic {
-		if spec.FirstRep%2 != 0 || spec.Reps%2 != 0 {
-			return nil, fmt.Errorf("sim: Antithetic requires even FirstRep and Reps, got %d and %d",
-				spec.FirstRep, spec.Reps)
-		}
-		if len(spec.Quantiles) > 0 {
-			return nil, errors.New("sim: Antithetic cannot be combined with Quantiles")
-		}
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
 	workers := spec.Workers
 	if workers <= 0 {
@@ -431,8 +440,60 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 	}
 	wg.Wait()
 
+	var out *Results
+	if keepPer {
+		var firings int64
+		completed, skipped := 0, 0
+		var failures []ReplicationError
+		for w := range results {
+			firings += results[w].firings
+			completed += results[w].completed
+			skipped += results[w].skipped
+			failures = append(failures, results[w].failures...)
+		}
+		out = aggregateRepOrder(&spec, repVals, firings, completed, skipped, failures)
+	} else {
+		out = &Results{Reps: spec.Reps, FirstRep: spec.FirstRep,
+			quantiles: len(spec.Quantiles) > 0}
+		merged := make([]*stats.Accumulator, len(spec.Vars))
+		for i := range merged {
+			merged[i] = &stats.Accumulator{}
+		}
+		var pooled [][]float64
+		if len(spec.Quantiles) > 0 {
+			pooled = make([][]float64, len(spec.Vars))
+		}
+		for w := range results {
+			out.TotalFirings += results[w].firings
+			out.Completed += results[w].completed
+			out.Skipped += results[w].skipped
+			out.Failures = append(out.Failures, results[w].failures...)
+			for i := range merged {
+				merged[i].Merge(results[w].accums[i])
+				if pooled != nil && results[w].samples != nil {
+					pooled[i] = append(pooled[i], results[w].samples[i]...)
+				}
+			}
+		}
+		out.Failed = len(out.Failures)
+		sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Rep < out.Failures[j].Rep })
+		buildEstimates(&spec, out, merged, pooled)
+	}
+	return out, finishErr(ctx, &spec, out)
+}
+
+// aggregateRepOrder builds the Results of a study from per-replication
+// observations indexed by batch-local replication (nil marks a failed or
+// skipped replication), folding them in replication order — the one order
+// every worker count produces, which is what makes the result bit-identical
+// across parallelism levels. Shared by RunContext's per-replication path and
+// RunFlat.
+func aggregateRepOrder(spec *Spec, repVals [][][]float64, firings int64, completed, skipped int, failures []ReplicationError) *Results {
+	keepPer := spec.perRep()
 	out := &Results{Reps: spec.Reps, FirstRep: spec.FirstRep,
-		quantiles: len(spec.Quantiles) > 0, byName: make(map[string]*Estimate, len(spec.Vars))}
+		quantiles:    len(spec.Quantiles) > 0,
+		TotalFirings: firings, Completed: completed, Skipped: skipped,
+		Failures: failures}
 	merged := make([]*stats.Accumulator, len(spec.Vars))
 	for i := range merged {
 		merged[i] = &stats.Accumulator{}
@@ -440,21 +501,6 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 	var pooled [][]float64
 	if len(spec.Quantiles) > 0 {
 		pooled = make([][]float64, len(spec.Vars))
-	}
-	for w := range results {
-		out.TotalFirings += results[w].firings
-		out.Completed += results[w].completed
-		out.Skipped += results[w].skipped
-		out.Failures = append(out.Failures, results[w].failures...)
-		if keepPer {
-			continue
-		}
-		for i := range merged {
-			merged[i].Merge(results[w].accums[i])
-			if pooled != nil && results[w].samples != nil {
-				pooled[i] = append(pooled[i], results[w].samples[i]...)
-			}
-		}
 	}
 	if keepPer {
 		out.PerRep = make([][]float64, len(spec.Vars))
@@ -465,47 +511,58 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 			}
 			out.PerRep[i] = row
 		}
-		for j := 0; j < spec.Reps; j++ {
-			vals := repVals[j]
-			if vals == nil {
-				continue
-			}
-			for i, xs := range vals {
-				if len(xs) > 0 {
-					sum := 0.0
-					for _, x := range xs {
-						sum += x
-					}
-					out.PerRep[i][j] = sum / float64(len(xs))
-				}
-				if spec.Antithetic {
-					continue // aggregated below, by pair
-				}
+	}
+	for j := 0; j < spec.Reps; j++ {
+		vals := repVals[j]
+		if vals == nil {
+			continue
+		}
+		for i, xs := range vals {
+			if keepPer && len(xs) > 0 {
+				sum := 0.0
 				for _, x := range xs {
-					merged[i].Add(x)
+					sum += x
 				}
-				if pooled != nil {
-					pooled[i] = append(pooled[i], xs...)
-				}
+				out.PerRep[i][j] = sum / float64(len(xs))
+			}
+			if spec.Antithetic {
+				continue // aggregated below, by pair
+			}
+			for _, x := range xs {
+				merged[i].Add(x)
+			}
+			if pooled != nil {
+				pooled[i] = append(pooled[i], xs...)
 			}
 		}
-		if spec.Antithetic {
-			// One observation per complete pair: the mean of the two
-			// partners' replication means. Pairs with a failed, skipped,
-			// or observation-less member contribute nothing.
-			for i := range spec.Vars {
-				row := out.PerRep[i]
-				for p := 0; p+1 < spec.Reps; p += 2 {
-					a, b := row[p], row[p+1]
-					if !math.IsNaN(a) && !math.IsNaN(b) {
-						merged[i].Add((a + b) / 2)
-					}
+	}
+	if spec.Antithetic {
+		// One observation per complete pair: the mean of the two partners'
+		// replication means. Pairs with a failed, skipped, or
+		// observation-less member contribute nothing.
+		for i := range spec.Vars {
+			row := out.PerRep[i]
+			for p := 0; p+1 < spec.Reps; p += 2 {
+				a, b := row[p], row[p+1]
+				if !math.IsNaN(a) && !math.IsNaN(b) {
+					merged[i].Add((a + b) / 2)
 				}
 			}
 		}
 	}
 	out.Failed = len(out.Failures)
 	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].Rep < out.Failures[j].Rep })
+	buildEstimates(spec, out, merged, pooled)
+	if keepPer {
+		out.accums = merged
+	}
+	return out
+}
+
+// buildEstimates fills out.Estimates and the name index from the merged
+// per-variable accumulators and (optionally) the pooled observations backing
+// the requested quantiles.
+func buildEstimates(spec *Spec, out *Results, merged []*stats.Accumulator, pooled [][]float64) {
 	for i, v := range spec.Vars {
 		a := merged[i]
 		est := Estimate{Name: v.Name(), N: a.N()}
@@ -523,15 +580,18 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 		}
 		out.Estimates = append(out.Estimates, est)
 	}
-	if keepPer {
-		out.accums = merged
-	}
+	out.byName = make(map[string]*Estimate, len(out.Estimates))
 	for i := range out.Estimates {
 		out.byName[out.Estimates[i].Name] = &out.Estimates[i]
 	}
+}
 
+// finishErr is the error a finished study reports alongside its (always
+// non-nil) partial results: context cancellation first, then the
+// failure-tolerance breach.
+func finishErr(ctx context.Context, spec *Spec, out *Results) error {
 	if err := ctx.Err(); err != nil {
-		return out, err
+		return err
 	}
 	if out.Failed > 0 {
 		maxFrac := spec.MaxFailureFrac
@@ -541,11 +601,17 @@ func RunContext(ctx context.Context, spec Spec) (*Results, error) {
 			maxFrac = 0
 		}
 		if frac := float64(out.Failed) / float64(spec.Reps); frac > maxFrac {
-			return out, fmt.Errorf("sim: %d of %d replications failed (%.1f%% > %.1f%% tolerated), first: %w",
-				out.Failed, spec.Reps, 100*frac, 100*maxFrac, &out.Failures[0])
+			return out.toleranceError(spec, maxFrac)
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// toleranceError formats the aggregate failure-tolerance error.
+func (r *Results) toleranceError(spec *Spec, maxFrac float64) error {
+	frac := float64(r.Failed) / float64(spec.Reps)
+	return fmt.Errorf("sim: %d of %d replications failed (%.1f%% > %.1f%% tolerated), first: %w",
+		r.Failed, spec.Reps, 100*frac, 100*maxFrac, &r.Failures[0])
 }
 
 // Sorted returns estimate names in sorted order (stable table output).

@@ -31,32 +31,40 @@ func CrossValidation(ctx context.Context, cfg Config) (*Figure, error) {
 	}
 	sanS := [3]Series{{Name: "SAN"}, {Name: "SAN"}, {Name: "SAN"}}
 	dirS := [3]Series{{Name: "direct"}, {Name: "direct"}, {Name: "direct"}}
-	for i, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
+	policies := []core.Policy{core.DomainExclusion, core.HostExclusion}
+	params := make([]core.Params, len(policies))
+	prs := make([]*PointResult, len(policies))
+	sw := newSweep(cfg)
+	for i, policy := range policies {
 		p := core.DefaultParams()
 		p.NumDomains = 4
 		p.HostsPerDomain = 2
 		p.NumApps = 3
 		p.RepsPerApp = 4
 		p.Policy = policy
-		pr, err := point(ctx, cfg, p, T, uint64(4000+i), func(m *core.Model) []reward.Var {
-			return []reward.Var{
-				m.Unavailability("unavail", 0, 0, T),
-				m.Unreliability("unrel", 0, T),
-				m.FracDomainsExcluded("excl", T),
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
+		params[i] = p
+		sw.add(&prs[i], fmt.Sprintf("crossval policy=%v", policy), cfg, p, T, uint64(4000+i),
+			func(m *core.Model) []reward.Var {
+				return []reward.Var{
+					m.Unavailability("unavail", 0, 0, T),
+					m.Unreliability("unrel", 0, T),
+					m.FracDomainsExcluded("excl", T),
+				}
+			})
+	}
+	if err := sw.run(ctx); err != nil {
+		return nil, err
+	}
+	for i := range policies {
 		x := float64(i + 1)
-		appendPoint(&sanS[0], x, "unavail", pr)
-		appendPoint(&sanS[1], x, "unrel", pr)
-		appendPoint(&sanS[2], x, "excl", pr)
+		appendPoint(&sanS[0], x, "unavail", prs[i])
+		appendPoint(&sanS[1], x, "unrel", prs[i])
+		appendPoint(&sanS[2], x, "excl", prs[i])
 
 		var unavail, unrel, excl stats.Accumulator
 		root := rng.New(cfg.Seed + uint64(4100+i))
 		for rep := 0; rep < cfg.Reps; rep++ {
-			res, err := ituadirect.RunContext(ctx, p, root.Derive(uint64(rep)), []float64{T})
+			res, err := ituadirect.RunContext(ctx, params[i], root.Derive(uint64(rep)), []float64{T})
 			if err != nil {
 				return nil, err
 			}
@@ -193,7 +201,10 @@ func AblationDetectionRate(ctx context.Context, cfg Config) (*Figure, error) {
 	unavail := Series{Name: "unavailability [0,5]"}
 	unrel := Series{Name: "unreliability [0,5]"}
 	excl := Series{Name: "domains excluded at 5"}
-	for i, rate := range []float64{0.1, 0.25, 0.5, 1, 2, 4} {
+	rates := []float64{0.1, 0.25, 0.5, 1, 2, 4}
+	prs := make([]*PointResult, len(rates))
+	sw := newSweep(cfg)
+	for i, rate := range rates {
 		p := core.DefaultParams()
 		p.NumDomains = 12
 		p.HostsPerDomain = 1
@@ -202,19 +213,22 @@ func AblationDetectionRate(ctx context.Context, cfg Config) (*Figure, error) {
 		p.HostDetectRate = rate
 		p.ReplicaDetectRate = rate
 		p.MgrDetectRate = rate
-		pr, err := point(ctx, cfg, p, T, uint64(4300+i), func(m *core.Model) []reward.Var {
-			return []reward.Var{
-				m.Unavailability("u", 0, 0, T),
-				m.Unreliability("r", 0, T),
-				m.FracDomainsExcluded("e", T),
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		appendPoint(&unavail, rate, "u", pr)
-		appendPoint(&unrel, rate, "r", pr)
-		appendPoint(&excl, rate, "e", pr)
+		sw.add(&prs[i], fmt.Sprintf("X3 rate=%v", rate), cfg, p, T, uint64(4300+i),
+			func(m *core.Model) []reward.Var {
+				return []reward.Var{
+					m.Unavailability("u", 0, 0, T),
+					m.Unreliability("r", 0, T),
+					m.FracDomainsExcluded("e", T),
+				}
+			})
+	}
+	if err := sw.run(ctx); err != nil {
+		return nil, err
+	}
+	for i, rate := range rates {
+		appendPoint(&unavail, rate, "u", prs[i])
+		appendPoint(&unrel, rate, "r", prs[i])
+		appendPoint(&excl, rate, "e", prs[i])
 	}
 	fig.Panels = []Panel{{ID: "X3", Measure: "Measures vs IDS rate (12×1 hosts, 4 apps)",
 		XLabel: "detection rate (1/h)", Series: []Series{unavail, unrel, excl}}}
@@ -229,24 +243,30 @@ func AblationRateSplit(ctx context.Context, cfg Config) (*Figure, error) {
 	fig := &Figure{ID: "X4", Title: "Sensitivity to the attack-budget split"}
 	unavail := Series{Name: "unavailability [0,5]"}
 	unrel := Series{Name: "unreliability [0,5]"}
-	for i, wr := range []float64{0, 0.5, 1, 2, 4, 8} {
+	weights := []float64{0, 0.5, 1, 2, 4, 8}
+	prs := make([]*PointResult, len(weights))
+	sw := newSweep(cfg)
+	for i, wr := range weights {
 		p := core.DefaultParams()
 		p.NumDomains = 12
 		p.HostsPerDomain = 1
 		p.NumApps = 4
 		p.RepsPerApp = 7
 		p.AttackSplitReplica = wr
-		pr, err := point(ctx, cfg, p, T, uint64(4400+i), func(m *core.Model) []reward.Var {
-			return []reward.Var{
-				m.Unavailability("u", 0, 0, T),
-				m.Unreliability("r", 0, T),
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		appendPoint(&unavail, wr, "u", pr)
-		appendPoint(&unrel, wr, "r", pr)
+		sw.add(&prs[i], fmt.Sprintf("X4 split=%v", wr), cfg, p, T, uint64(4400+i),
+			func(m *core.Model) []reward.Var {
+				return []reward.Var{
+					m.Unavailability("u", 0, 0, T),
+					m.Unreliability("r", 0, T),
+				}
+			})
+	}
+	if err := sw.run(ctx); err != nil {
+		return nil, err
+	}
+	for i, wr := range weights {
+		appendPoint(&unavail, wr, "u", prs[i])
+		appendPoint(&unrel, wr, "r", prs[i])
 	}
 	fig.Panels = []Panel{{ID: "X4", Measure: "Measures vs replica attack weight (12×1 hosts)",
 		XLabel: "AttackSplitReplica", Series: []Series{unavail, unrel}}}
@@ -264,31 +284,41 @@ func AblationConviction(ctx context.Context, cfg Config) (*Figure, error) {
 		{ID: "X5-unavail", Measure: "Unavailability [0,5]", XLabel: "hosts/domain"},
 		{ID: "X5-excl", Measure: "Fraction domains excluded at 5", XLabel: "hosts/domain"},
 	}
-	for _, excludeOnConviction := range []bool{false, true} {
-		name := "restart replica (default)"
-		if excludeOnConviction {
-			name = "exclude on conviction"
-		}
-		su := Series{Name: name}
-		se := Series{Name: name}
-		for pi, hpd := range []int{1, 2, 3, 4, 6, 12} {
+	modes := []bool{false, true}
+	hpds := []int{1, 2, 3, 4, 6, 12}
+	prs := make([][]*PointResult, len(modes))
+	sw := newSweep(cfg)
+	for mi, excludeOnConviction := range modes {
+		prs[mi] = make([]*PointResult, len(hpds))
+		for pi, hpd := range hpds {
 			p := core.DefaultParams()
 			p.NumDomains = 12 / hpd
 			p.HostsPerDomain = hpd
 			p.NumApps = 4
 			p.RepsPerApp = 7
 			p.ExcludeOnReplicaConviction = excludeOnConviction
-			pr, err := point(ctx, cfg, p, T, uint64(4500+pi), func(m *core.Model) []reward.Var {
-				return []reward.Var{
-					m.Unavailability("u", 0, 0, T),
-					m.FracDomainsExcluded("e", T),
-				}
-			})
-			if err != nil {
-				return nil, err
-			}
-			appendPoint(&su, float64(hpd), "u", pr)
-			appendPoint(&se, float64(hpd), "e", pr)
+			sw.add(&prs[mi][pi], fmt.Sprintf("X5 exclude=%v hpd=%d", excludeOnConviction, hpd),
+				cfg, p, T, uint64(4500+pi), func(m *core.Model) []reward.Var {
+					return []reward.Var{
+						m.Unavailability("u", 0, 0, T),
+						m.FracDomainsExcluded("e", T),
+					}
+				})
+		}
+	}
+	if err := sw.run(ctx); err != nil {
+		return nil, err
+	}
+	for mi, excludeOnConviction := range modes {
+		name := "restart replica (default)"
+		if excludeOnConviction {
+			name = "exclude on conviction"
+		}
+		su := Series{Name: name}
+		se := Series{Name: name}
+		for pi, hpd := range hpds {
+			appendPoint(&su, float64(hpd), "u", prs[mi][pi])
+			appendPoint(&se, float64(hpd), "e", prs[mi][pi])
 		}
 		panels[0].Series = append(panels[0].Series, su)
 		panels[1].Series = append(panels[1].Series, se)
@@ -324,12 +354,15 @@ func AblationPlacement(ctx context.Context, cfg Config) (*Figure, error) {
 		{ID: "X6-unavail", Measure: "Unavailability [0,10]", XLabel: "spread rate"},
 		{ID: "X6-load", Measure: "Load per live host at 10", XLabel: "spread rate"},
 	}
-	for _, placement := range []core.Placement{
+	placements := []core.Placement{
 		core.UniformPlacement, core.LeastLoadedPlacement, core.WeightedRandomPlacement,
-	} {
-		su := Series{Name: placement.String()}
-		sl := Series{Name: placement.String()}
-		for pi, spread := range []float64{0, 5, 10} {
+	}
+	spreads := []float64{0, 5, 10}
+	prs := make([][]*PointResult, len(placements))
+	sw := newSweep(cfg)
+	for mi, placement := range placements {
+		prs[mi] = make([]*PointResult, len(spreads))
+		for pi, spread := range spreads {
 			p := core.DefaultParams()
 			p.NumDomains = 10
 			p.HostsPerDomain = 3
@@ -338,17 +371,24 @@ func AblationPlacement(ctx context.Context, cfg Config) (*Figure, error) {
 			p.CorruptionMult = 5
 			p.DomainSpreadRate = spread
 			p.Placement = placement
-			pr, err := point(ctx, cfg, p, T, uint64(4600+pi), func(m *core.Model) []reward.Var {
-				return []reward.Var{
-					m.Unavailability("u", 0, 0, T),
-					m.LoadPerHost("load", T),
-				}
-			})
-			if err != nil {
-				return nil, err
-			}
-			appendPoint(&su, spread, "u", pr)
-			appendPoint(&sl, spread, "load", pr)
+			sw.add(&prs[mi][pi], fmt.Sprintf("X6 %v spread=%v", placement, spread),
+				cfg, p, T, uint64(4600+pi), func(m *core.Model) []reward.Var {
+					return []reward.Var{
+						m.Unavailability("u", 0, 0, T),
+						m.LoadPerHost("load", T),
+					}
+				})
+		}
+	}
+	if err := sw.run(ctx); err != nil {
+		return nil, err
+	}
+	for mi, placement := range placements {
+		su := Series{Name: placement.String()}
+		sl := Series{Name: placement.String()}
+		for pi, spread := range spreads {
+			appendPoint(&su, spread, "u", prs[mi][pi])
+			appendPoint(&sl, spread, "load", prs[mi][pi])
 		}
 		panels[0].Series = append(panels[0].Series, su)
 		panels[1].Series = append(panels[1].Series, sl)

@@ -30,11 +30,18 @@ func Fig3(ctx context.Context, cfg Config) (*Figure, error) {
 		{ID: "3c", Measure: "Fraction of corrupt hosts in an excluded domain", XLabel: "hosts/domain"},
 		{ID: "3d", Measure: "Fraction of domains excluded at 5 h", XLabel: "hosts/domain"},
 	}
-	for _, apps := range Fig3Apps {
-		series := make([]Series, len(panels))
-		for i := range series {
-			series[i].Name = fmt.Sprintf("%d applications", apps)
+	vars := func(m *core.Model) []reward.Var {
+		return []reward.Var{
+			m.Unavailability("unavail", 0, 0, T),
+			m.Unreliability("unrel", 0, T),
+			m.FracCorruptHostsAtExclusion("corrfrac", T),
+			m.FracDomainsExcluded("exclfrac", T),
 		}
+	}
+	sw := newSweep(cfg)
+	prs := make([][]*PointResult, len(Fig3Apps))
+	for ai, apps := range Fig3Apps {
+		prs[ai] = make([]*PointResult, len(Fig3HostsPerDomain))
 		for pi, hpd := range Fig3HostsPerDomain {
 			p := core.DefaultParams()
 			p.NumDomains = 12 / hpd
@@ -49,18 +56,20 @@ func Fig3(ctx context.Context, cfg Config) (*Figure, error) {
 			// the number of applications".
 			p.RateBaseHosts = 12
 			p.RateBaseReplicas = 28
-			pr, err := point(ctx, cfg, p, T, uint64(1000*apps+pi),
-				func(m *core.Model) []reward.Var {
-					return []reward.Var{
-						m.Unavailability("unavail", 0, 0, T),
-						m.Unreliability("unrel", 0, T),
-						m.FracCorruptHostsAtExclusion("corrfrac", T),
-						m.FracDomainsExcluded("exclfrac", T),
-					}
-				})
-			if err != nil {
-				return nil, fmt.Errorf("fig3 apps=%d hpd=%d: %w", apps, hpd, err)
-			}
+			sw.add(&prs[ai][pi], fmt.Sprintf("fig3 apps=%d hpd=%d", apps, hpd),
+				cfg, p, T, uint64(1000*apps+pi), vars)
+		}
+	}
+	if err := sw.run(ctx); err != nil {
+		return nil, err
+	}
+	for ai, apps := range Fig3Apps {
+		series := make([]Series, len(panels))
+		for i := range series {
+			series[i].Name = fmt.Sprintf("%d applications", apps)
+		}
+		for pi, hpd := range Fig3HostsPerDomain {
+			pr := prs[ai][pi]
 			x := float64(hpd)
 			appendPoint(&series[0], x, "unavail", pr)
 			appendPoint(&series[1], x, "unrel", pr)
@@ -101,6 +110,15 @@ func Fig4(ctx context.Context, cfg Config) (*Figure, error) {
 	ss := Series{Name: "steady state"}
 	e5 := Series{Name: "at time 5"}
 	e10 := Series{Name: "at time 10"}
+	sw := newSweep(cfg)
+	prs := make([]*PointResult, len(Fig4HostsPerDomain))
+	prSSs := make([]*PointResult, len(Fig4HostsPerDomain))
+	// Steady state: the model has no repair, so the long-horizon average
+	// over all exclusion events is the absorbed value.
+	longCfg := cfg
+	if longCfg.Reps > 500 {
+		longCfg.Reps = 500
+	}
 	for pi, hpd := range Fig4HostsPerDomain {
 		p := core.DefaultParams()
 		p.NumDomains = 10
@@ -108,39 +126,34 @@ func Fig4(ctx context.Context, cfg Config) (*Figure, error) {
 		p.NumApps = 4
 		p.RepsPerApp = 7
 		p.RateBaseHosts = 10 // constant per-host rates across the sweep
-		pr, err := point(ctx, cfg, p, T, uint64(2000+pi), func(m *core.Model) []reward.Var {
-			return []reward.Var{
-				m.Unavailability("u5", 0, 0, 5),
-				m.Unavailability("u10", 0, 0, 10),
-				m.Unreliability("r5", 0, 5),
-				m.Unreliability("r10", 0, 10),
-				m.FracDomainsExcluded("e5", 5),
-				m.FracDomainsExcluded("e10", 10),
-			}
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig4 hpd=%d: %w", hpd, err)
-		}
-		// Steady state: the model has no repair, so the long-horizon
-		// average over all exclusion events is the absorbed value.
-		longCfg := cfg
-		if longCfg.Reps > 500 {
-			longCfg.Reps = 500
-		}
-		prSS, err := point(ctx, longCfg, p, steadyT, uint64(2100+pi), func(m *core.Model) []reward.Var {
-			return []reward.Var{m.FracCorruptHostsAtExclusion("cf", steadyT)}
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig4 steady hpd=%d: %w", hpd, err)
-		}
+		sw.add(&prs[pi], fmt.Sprintf("fig4 hpd=%d", hpd), cfg, p, T, uint64(2000+pi),
+			func(m *core.Model) []reward.Var {
+				return []reward.Var{
+					m.Unavailability("u5", 0, 0, 5),
+					m.Unavailability("u10", 0, 0, 10),
+					m.Unreliability("r5", 0, 5),
+					m.Unreliability("r10", 0, 10),
+					m.FracDomainsExcluded("e5", 5),
+					m.FracDomainsExcluded("e10", 10),
+				}
+			})
+		sw.add(&prSSs[pi], fmt.Sprintf("fig4 steady hpd=%d", hpd), longCfg, p, steadyT, uint64(2100+pi),
+			func(m *core.Model) []reward.Var {
+				return []reward.Var{m.FracCorruptHostsAtExclusion("cf", steadyT)}
+			})
+	}
+	if err := sw.run(ctx); err != nil {
+		return nil, err
+	}
+	for pi, hpd := range Fig4HostsPerDomain {
 		x := float64(hpd)
-		appendPoint(&s5, x, "u5", pr)
-		appendPoint(&s10, x, "u10", pr)
-		appendPoint(&r5, x, "r5", pr)
-		appendPoint(&r10, x, "r10", pr)
-		appendPoint(&ss, x, "cf", prSS)
-		appendPoint(&e5, x, "e5", pr)
-		appendPoint(&e10, x, "e10", pr)
+		appendPoint(&s5, x, "u5", prs[pi])
+		appendPoint(&s10, x, "u10", prs[pi])
+		appendPoint(&r5, x, "r5", prs[pi])
+		appendPoint(&r10, x, "r10", prs[pi])
+		appendPoint(&ss, x, "cf", prSSs[pi])
+		appendPoint(&e5, x, "e5", prs[pi])
+		appendPoint(&e10, x, "e10", prs[pi])
 	}
 	panels[0].Series = []Series{s5, s10}
 	panels[1].Series = []Series{r5, r10}
@@ -166,18 +179,27 @@ func Fig5(ctx context.Context, cfg Config) (*Figure, error) {
 		{ID: "5c", Measure: "Unreliability for the first 5 hours", XLabel: "spread rate"},
 		{ID: "5d", Measure: "Unreliability for the first 10 hours", XLabel: "spread rate"},
 	}
-	for si, policy := range []core.Policy{core.HostExclusion, core.DomainExclusion} {
+	policies := []core.Policy{core.HostExclusion, core.DomainExclusion}
+	sw := newSweep(cfg)
+	prs := make([][]*PointResult, len(policies))
+	for si, policy := range policies {
+		prs[si] = make([]*PointResult, len(Fig5SpreadRates))
+		for pi, spread := range Fig5SpreadRates {
+			sw.add(&prs[si][pi], fmt.Sprintf("fig5 %v spread=%v", policy, spread),
+				cfg, fig5Params(spread, policy), T, uint64(3000+100*si+pi), fig5Vars)
+		}
+	}
+	if err := sw.run(ctx); err != nil {
+		return nil, err
+	}
+	for si, policy := range policies {
 		name := map[core.Policy]string{
 			core.HostExclusion:   "Host exclusion",
 			core.DomainExclusion: "Domain exclusion",
 		}[policy]
 		series := [4]Series{{Name: name}, {Name: name}, {Name: name}, {Name: name}}
 		for pi, spread := range Fig5SpreadRates {
-			p := fig5Params(spread, policy)
-			pr, err := point(ctx, cfg, p, T, uint64(3000+100*si+pi), fig5Vars)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %v spread=%v: %w", policy, spread, err)
-			}
+			pr := prs[si][pi]
 			appendPoint(&series[0], spread, "u5", pr)
 			appendPoint(&series[1], spread, "u10", pr)
 			appendPoint(&series[2], spread, "r5", pr)

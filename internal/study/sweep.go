@@ -1,0 +1,143 @@
+package study
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ituaval/internal/core"
+	"ituaval/internal/reward"
+	"ituaval/internal/sim"
+)
+
+// sweep collects the points of one figure and runs them on a single flat
+// worker pool (sim.RunFlat): the (point, replication) pairs of the whole
+// figure form one work stream, so workers stay busy to the end instead of
+// paying a synchronization barrier per point. Results are bit-identical to
+// running the points sequentially through point() — each replication draws
+// from the same derived stream and each point aggregates in replication
+// order — and independent of the worker count.
+type sweep struct {
+	cfg  Config
+	reqs []sweepReq
+}
+
+// sweepReq is one scheduled point: where its result goes, the error label
+// that keeps sweep failures attributable, and the point's own configuration
+// (which may differ from the sweep's, e.g. a capped-Reps steady-state
+// point).
+type sweepReq struct {
+	out        **PointResult
+	label      string
+	cfg        Config
+	params     core.Params
+	until      float64
+	seedOffset uint64
+	vars       func(m *core.Model) []reward.Var
+}
+
+func newSweep(cfg Config) *sweep { return &sweep{cfg: cfg} }
+
+// add schedules one sweep point; *out is assigned when run completes. label
+// prefixes any error attributed to this point.
+func (sw *sweep) add(out **PointResult, label string, pcfg Config, p core.Params, until float64,
+	seedOffset uint64, vars func(m *core.Model) []reward.Var) {
+	sw.reqs = append(sw.reqs, sweepReq{out, label, pcfg, p, until, seedOffset, vars})
+}
+
+// run executes every scheduled point. In precision mode the points run
+// sequentially through point() — sequential stopping decides each point's
+// replication count adaptively, which has no fixed flat decomposition —
+// otherwise all points share one sim.RunFlat pool. Checkpointed points are
+// restored without simulating, and freshly computed points are persisted
+// before run returns; a point that fully completed before a cancellation is
+// persisted too, so resumed sweeps lose none of the finished work.
+func (sw *sweep) run(ctx context.Context) error {
+	if sw.cfg.precisionMode() {
+		for i := range sw.reqs {
+			req := &sw.reqs[i]
+			pr, err := point(ctx, req.cfg, req.params, req.until, req.seedOffset, req.vars)
+			if err != nil {
+				return fmt.Errorf("%s: %w", req.label, err)
+			}
+			*req.out = pr
+		}
+		return nil
+	}
+	var pending []*sweepReq
+	var specs []sim.Spec
+	var keys []string
+	for i := range sw.reqs {
+		req := &sw.reqs[i]
+		var key string
+		if req.cfg.Checkpoint != nil {
+			key = pointKey(req.cfg, req.params, req.until, req.seedOffset)
+			if pr, ok := req.cfg.Checkpoint.lookup(key); ok {
+				*req.out = pr
+				continue
+			}
+		}
+		m, err := core.Build(req.params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", req.label, err)
+		}
+		specs = append(specs, sim.Spec{
+			Model:          m.SAN,
+			Until:          req.until,
+			Reps:           req.cfg.Reps,
+			Seed:           req.cfg.Seed + req.seedOffset,
+			Workers:        req.cfg.Workers,
+			Vars:           req.vars(m),
+			RepDeadline:    req.cfg.RepDeadline,
+			MaxFailureFrac: req.cfg.MaxFailureFrac,
+		})
+		pending = append(pending, req)
+		keys = append(keys, key)
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	frs := sim.RunFlat(ctx, specs, sw.cfg.Workers)
+	var firstErr error
+	for i, req := range pending {
+		fr := frs[i]
+		res := fr.Results
+		if err := ctx.Err(); err != nil && fr.Err == nil {
+			// Cancelled after the simulation finished, mid-bookkeeping (for
+			// example from a checkpoint save hook): stop committing further
+			// points so cancellation halts the sweep at point granularity,
+			// exactly as the sequential scheduler did.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", req.label, err)
+			}
+			continue
+		}
+		if fr.Err != nil {
+			// A point whose every replication completed before the sweep was
+			// cancelled is still a full, checkpointable result; anything
+			// else aborts the point (the sweep keeps salvaging the rest).
+			cancelled := errors.Is(fr.Err, context.Canceled) || errors.Is(fr.Err, context.DeadlineExceeded)
+			if !cancelled || res == nil || res.Skipped > 0 || res.Failed > 0 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", req.label, fr.Err)
+				}
+				continue
+			}
+		}
+		if res.Failed > 0 {
+			req.cfg.warnf("study: %d of %d replications failed at this sweep point; estimates use the %d survivors (first failure: %v)",
+				res.Failed, res.Reps, res.Completed, &res.Failures[0])
+		}
+		pr := newPointResult(res)
+		if req.cfg.Checkpoint != nil {
+			if err := req.cfg.Checkpoint.store(keys[i], pr); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", req.label, err)
+				}
+				continue
+			}
+		}
+		*req.out = pr
+	}
+	return firstErr
+}
