@@ -13,7 +13,7 @@
 #                variant that runs inside `make test`
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-json perf-smoke lint-models fuzz-smoke crosscheck
+.PHONY: ci vet build test race bench bench-json bench-mc perf-smoke lint-models fuzz-smoke crosscheck
 
 ci: vet build test race
 
@@ -27,7 +27,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/...
+	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/... ./internal/mc/...
 
 lint-models:
 	$(GO) test ./internal/study -run TestLintRegisteredModels -count=1
@@ -37,12 +37,13 @@ fuzz-smoke:
 	$(GO) test ./internal/rng -run '^$$' -fuzz FuzzNewEmpirical -fuzztime 10s
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzQuantile -fuzztime 10s
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzBatchMeans -fuzztime 10s
+	$(GO) test ./internal/san -run '^$$' -fuzz FuzzMarkingKey -fuzztime 10s
 
 crosscheck:
 	CROSSCHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckFull -count=1 -v
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim ./internal/mc
 
 # bench-json runs the benchmark suite and archives the results as
 # BENCH_<date>.json (name, ns/op, reps, allocation stats, custom metrics)
@@ -51,7 +52,14 @@ bench:
 #   make bench-json BENCHJSON_FLAGS='-o BENCH_PR4.json -baseline BENCH_old.json'
 # to write a named report embedding a before/after comparison.
 bench-json:
-	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim | $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS)
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim ./internal/mc | $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS)
+
+# bench-mc runs only the analytic-path (state-space generation +
+# uniformization) benchmarks and writes BENCH_PR5.json with the speedup
+# over the checked-in pre-overhaul baseline BENCH_PR5_baseline.json.
+bench-mc:
+	$(GO) test -bench 'BenchmarkMC' -benchmem -run=^$$ ./internal/mc | \
+		$(GO) run ./cmd/benchjson -o BENCH_PR5.json -baseline BENCH_PR5_baseline.json
 
 # perf-smoke is the fast CI lane: one iteration of the engine hot-path
 # benchmarks plus one full figure panel, enough to catch a build break or a

@@ -1,11 +1,14 @@
 // Analytic study: the Möbius-style numerical path on a reduced
-// intrusion-tolerance model. Because the full ITUA model's recovery gate
-// draws random numbers, it cannot be converted to a CTMC; this example
-// builds the reduced replicated-service model (attack/detect/restart with a
-// budget of spares) that *is* numerically solvable, and walks through the
-// whole analytic toolbox: transient solution, interval-averaged
-// unavailability, first-passage probability, steady state, and mean time to
-// absorption — each cross-checked against simulation.
+// intrusion-tolerance model. This example builds a small
+// replicated-service model (attack/detect/restart with a budget of
+// spares) and walks through the whole analytic toolbox: transient
+// solution, interval-averaged unavailability, first-passage probability,
+// steady state, and mean time to absorption — each cross-checked against
+// simulation. The full composed ITUA model is also solvable this way on
+// small configurations (the generator enumerates its random placement
+// and exclusion choices exhaustively and bounds the intrusion counter
+// via core.Params.Analytic); see internal/exact and `figures -analytic`
+// for that heavier end of the analytic path.
 package main
 
 import (

@@ -131,6 +131,16 @@ func Build(p Params) (*Model, error) {
 		m.SpreadSys = s.Place("attack_spread_system", 0)
 	}
 	m.Intrusions = s.Place("intrusions", 0)
+	// recordIntrusion counts a successful attack. The measures and guards
+	// only ever test intrusions == 0, so in analytic mode the counter
+	// saturates at 1 — keeping the state space finite for the numerical
+	// solver without changing any observable behaviour.
+	recordIntrusion := func(st *san.State) {
+		if p.Analytic && st.Get(m.Intrusions) > 0 {
+			return
+		}
+		st.Add(m.Intrusions, 1)
+	}
 	m.UndetMgrs = s.Place("undetected_corr_mgrs", 0)
 	m.MgrsRunning = s.Place("mgrs_running", san.Marking(nHosts))
 	m.DomainsExcluded = s.Place("domains_excluded", 0)
@@ -393,9 +403,9 @@ func Build(p Params) (*Model, error) {
 			for i, g := range hostsUp {
 				weights[i] = 1 / (1 + float64(st.Get(m.NumReplicas[g])))
 			}
-			return hostsUp[ctx.Rand.Category(weights)]
+			return hostsUp[ctx.ChooseWeighted(weights)]
 		default:
-			return hostsUp[ctx.Rand.Choose(len(hostsUp))]
+			return hostsUp[ctx.Choose(len(hostsUp))]
 		}
 	}
 
@@ -413,7 +423,7 @@ func Build(p Params) (*Model, error) {
 		}
 		domPerm := make([]int, D)
 		for a := 0; a < A; a++ {
-			ctx.Rand.Perm(domPerm)
+			ctx.Permute(domPerm)
 			for i := 0; i < k; i++ {
 				d := domPerm[i]
 				g := chooseHost(ctx, d)
@@ -452,15 +462,15 @@ func Build(p Params) (*Model, error) {
 				Cases: []san.Case{
 					{Name: "script", Prob: p.PScript, Effect: func(ctx *san.Context) {
 						ctx.State.Set(m.HostStatus[g], 1)
-						ctx.State.Add(m.Intrusions, 1)
+						recordIntrusion(ctx.State)
 					}},
 					{Name: "exploratory", Prob: p.PExploratory, Effect: func(ctx *san.Context) {
 						ctx.State.Set(m.HostStatus[g], 2)
-						ctx.State.Add(m.Intrusions, 1)
+						recordIntrusion(ctx.State)
 					}},
 					{Name: "innovative", Prob: p.PInnovative, Effect: func(ctx *san.Context) {
 						ctx.State.Set(m.HostStatus[g], 3)
-						ctx.State.Add(m.Intrusions, 1)
+						recordIntrusion(ctx.State)
 					}},
 				},
 			})
@@ -523,7 +533,7 @@ func Build(p Params) (*Model, error) {
 					ctx.State.Set(m.MgrStatus[g], 1)
 					ctx.State.Add(m.UndetMgrs, 1)
 					ctx.State.Add(m.DomMgrsCorrupt[d], 1)
-					ctx.State.Add(m.Intrusions, 1)
+					recordIntrusion(ctx.State)
 				}}},
 			})
 		}
@@ -697,7 +707,7 @@ func Build(p Params) (*Model, error) {
 					Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
 						ctx.State.Set(corrupt, 1)
 						ctx.State.Add(m.Undet[a], 1)
-						ctx.State.Add(m.Intrusions, 1)
+						recordIntrusion(ctx.State)
 						checkByzantine(ctx.State, a)
 					}}},
 				})
@@ -845,7 +855,7 @@ func Build(p Params) (*Model, error) {
 						doms = append(doms, d)
 					}
 				}
-				d := doms[ctx.Rand.Choose(len(doms))]
+				d := doms[ctx.Choose(len(doms))]
 				g := chooseHost(ctx, d)
 				slot := -1
 				for r := 0; r < nSlots; r++ {
@@ -897,8 +907,12 @@ func Build(p Params) (*Model, error) {
 	if D < k {
 		k = D // replicas per app: one per distinct domain
 	}
-	// Intrusions is deliberately unbounded: recovered replicas can be
+	// Intrusions saturates at 1 in analytic mode (see recordIntrusion);
+	// otherwise it is deliberately unbounded: recovered replicas can be
 	// corrupted again, so the counter grows without limit.
+	if p.Analytic {
+		s.Bound(m.Intrusions, 1)
+	}
 	if m.SpreadSys != nil {
 		s.Bound(m.SpreadSys, san.Marking(nHosts))
 	}

@@ -175,6 +175,15 @@ type Params struct {
 	// infiltration. The published curves of Figures 3–5 are reproduced by
 	// the default; EXPERIMENTS.md discusses the discrepancy.
 	ExcludeOnReplicaConviction bool
+
+	// Analytic marks the model for numerical (CTMC) solution rather than
+	// simulation. The only behavioural difference is that the intrusions
+	// counter saturates at 1 instead of growing without bound — every
+	// guard and measure tests intrusions == 0 only, so all observable
+	// quantities are untouched while the reachable state space becomes
+	// finite. Simulation of an Analytic model is still valid and agrees
+	// with the non-Analytic one on every measure.
+	Analytic bool
 }
 
 // DefaultParams returns the paper's baseline configuration (Section 4):

@@ -1,0 +1,80 @@
+// Package exact evaluates the paper's measures numerically: it converts a
+// core ITUA configuration to a CTMC (internal/mc) and computes interval
+// unavailability, unreliability, and the exclusion fraction by
+// uniformization — no sampling, no confidence intervals. This is the
+// third, strongest arm of the validation triangle next to the SAN engine
+// and the direct simulator: on configurations small enough to generate,
+// both simulators' estimates must bracket these values.
+//
+// The solver forces Params.Analytic, which saturates the intrusions
+// counter at 1 so the reachable state space is finite; every guard and
+// measure only tests intrusions == 0, so the simulated and analytic
+// models agree on all observables (core.Params.Analytic documents the
+// argument).
+package exact
+
+import (
+	"fmt"
+
+	"ituaval/internal/core"
+	"ituaval/internal/mc"
+	"ituaval/internal/san"
+)
+
+// Solver holds a generated chain together with the model handles the
+// measure definitions need. Methods are safe to call repeatedly; each
+// runs one numerical solution on the shared chain.
+type Solver struct {
+	M *core.Model
+	C *mc.CTMC
+}
+
+// NewSolver builds the composed ITUA model for p (with Analytic forced
+// on) and generates its CTMC. Configurations that are too large surface
+// as the mc.Generate MaxStates error.
+func NewSolver(p core.Params, opts mc.Options) (*Solver, error) {
+	p.Analytic = true
+	m, err := core.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	c, err := mc.Generate(m.SAN, opts)
+	if err != nil {
+		return nil, fmt.Errorf("exact: %w", err)
+	}
+	return &Solver{M: m, C: c}, nil
+}
+
+// indicator lifts a predicate to a 0/1 rate reward.
+func indicator(pred func(*san.State) bool) func(*san.State) float64 {
+	return func(s *san.State) float64 {
+		if pred(s) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Unavailability is the expected fraction of [0, T] during which
+// application app's service is improper — the exact value of
+// core.Model.Unavailability.
+func (s *Solver) Unavailability(app int, T float64) (float64, error) {
+	return s.C.IntervalAverageReward(T, indicator(s.M.Improper(app)))
+}
+
+// Unreliability is the probability that application app suffers a
+// Byzantine fault at least once in [0, T] — the exact value of
+// core.Model.Unreliability.
+func (s *Solver) Unreliability(app int, T float64) (float64, error) {
+	return s.C.FirstPassageProb(T, s.M.Byzantine(app))
+}
+
+// FracDomainsExcluded is the expected fraction of security domains
+// excluded by time T — the exact value of core.Model.FracDomainsExcluded.
+func (s *Solver) FracDomainsExcluded(T float64) (float64, error) {
+	excluded := s.M.DomainsExcluded
+	n := float64(s.M.Params.NumDomains)
+	return s.C.TransientReward(T, func(st *san.State) float64 {
+		return float64(st.Get(excluded)) / n
+	})
+}

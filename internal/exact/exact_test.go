@@ -1,0 +1,55 @@
+package exact
+
+import (
+	"testing"
+
+	"ituaval/internal/core"
+	"ituaval/internal/mc"
+)
+
+// TestSolverSmallConfig generates the 2-domain, 1-host-per-domain
+// analytic configuration (the study's topology, ~8·10^4 states at zero
+// spread) and sanity-checks the exact measures: all in [0,1],
+// unreliability monotone in the horizon.
+func TestSolverSmallConfig(t *testing.T) {
+	p := core.DefaultParams()
+	p.NumDomains = 2
+	p.HostsPerDomain = 1
+	p.NumApps = 1
+	p.RepsPerApp = 2
+	p.DomainSpreadRate = 0 // keeps the chain under 10^5 states
+	s, err := NewSolver(p, mc.Options{MaxStates: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("states=%d transitions=%d", s.C.NumStates(), s.C.NumTransitions())
+	u5, err := s.Unavailability(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u10, err := s.Unavailability(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := s.Unreliability(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := s.Unreliability(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e10, err := s.FracDomainsExcluded(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("u5=%g u10=%g r5=%g r10=%g e10=%g", u5, u10, r5, r10, e10)
+	for _, v := range []float64{u5, u10, r5, r10, e10} {
+		if v < -1e-12 || v > 1+1e-12 {
+			t.Fatalf("measure out of [0,1]: %v", v)
+		}
+	}
+	if r10 < r5-1e-12 {
+		t.Fatalf("unreliability not monotone: r5=%g r10=%g", r5, r10)
+	}
+}

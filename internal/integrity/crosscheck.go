@@ -7,7 +7,9 @@ import (
 	"strings"
 
 	"ituaval/internal/core"
+	"ituaval/internal/exact"
 	"ituaval/internal/ituadirect"
+	"ituaval/internal/mc"
 	"ituaval/internal/reward"
 	"ituaval/internal/rng"
 	"ituaval/internal/sim"
@@ -27,6 +29,17 @@ type CrossCheckOptions struct {
 	Seed uint64
 	// Workers bounds SAN-engine parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Exact, when true, adds a third arm: the same measures computed
+	// numerically (state-space generation + uniformization, internal/exact)
+	// with no sampling error. Both simulators' confidence intervals are
+	// then checked against the exact values, turning the pairwise
+	// CI-overlap test into an absolute one. The configuration must be
+	// small enough to generate; ExactMaxStates caps the attempt and the
+	// run errors out when exceeded.
+	Exact bool
+	// ExactMaxStates bounds state-space generation of the exact arm
+	// (0 = the mc.Generate default, 1<<20).
+	ExactMaxStates int
 }
 
 func (o *CrossCheckOptions) fill() {
@@ -41,13 +54,18 @@ func (o *CrossCheckOptions) fill() {
 	}
 }
 
-// MeasureAgreement compares one measure's estimate under the two engines.
+// MeasureAgreement compares one measure's estimate under the two engines,
+// and — when the exact arm ran — against the numerically exact value.
 type MeasureAgreement struct {
 	Name       string
 	SANMean    float64
 	SANHalf    float64 // 95% confidence half-width
 	DirectMean float64
 	DirectHalf float64
+	// Exact is the uniformization value of the measure; valid only when
+	// HasExact is set (CrossCheckOptions.Exact ran).
+	Exact    float64
+	HasExact bool
 }
 
 // Overlaps reports whether the two 95% confidence intervals intersect —
@@ -57,13 +75,31 @@ func (a MeasureAgreement) Overlaps() bool {
 	return math.Abs(a.SANMean-a.DirectMean) <= a.SANHalf+a.DirectHalf
 }
 
+// ExactCovered reports whether the exact value lies within the union of
+// the two engines' 95% intervals. With no exact arm it is vacuously true.
+// Each interval individually misses the true value 5% of the time, so the
+// union — miss probability well under 5% per measure — is the right
+// absolute criterion for an automated gate.
+func (a MeasureAgreement) ExactCovered() bool {
+	if !a.HasExact {
+		return true
+	}
+	lo := math.Min(a.SANMean-a.SANHalf, a.DirectMean-a.DirectHalf)
+	hi := math.Max(a.SANMean+a.SANHalf, a.DirectMean+a.DirectHalf)
+	return a.Exact >= lo && a.Exact <= hi
+}
+
 func (a MeasureAgreement) String() string {
 	verdict := "agree"
-	if !a.Overlaps() {
+	if !a.Overlaps() || !a.ExactCovered() {
 		verdict = "DISAGREE"
 	}
-	return fmt.Sprintf("%s: SAN %.4g ± %.2g vs direct %.4g ± %.2g (%s)",
-		a.Name, a.SANMean, a.SANHalf, a.DirectMean, a.DirectHalf, verdict)
+	s := fmt.Sprintf("%s: SAN %.4g ± %.2g vs direct %.4g ± %.2g",
+		a.Name, a.SANMean, a.SANHalf, a.DirectMean, a.DirectHalf)
+	if a.HasExact {
+		s += fmt.Sprintf(" vs exact %.4g", a.Exact)
+	}
+	return s + " (" + verdict + ")"
 }
 
 // CrossCheckReport is the outcome of one cross-engine validation run.
@@ -73,10 +109,11 @@ type CrossCheckReport struct {
 	Measures []MeasureAgreement
 }
 
-// Agree reports whether every measure's confidence intervals overlap.
+// Agree reports whether every measure's confidence intervals overlap and,
+// when the exact arm ran, every exact value is covered (ExactCovered).
 func (r *CrossCheckReport) Agree() bool {
 	for _, m := range r.Measures {
-		if !m.Overlaps() {
+		if !m.Overlaps() || !m.ExactCovered() {
 			return false
 		}
 	}
@@ -102,7 +139,9 @@ func (r *CrossCheckReport) String() string {
 // agreement within confidence intervals is strong evidence against an
 // engine-level bug. The SAN run also carries the full ITUAInvariants
 // monitor set, so a conservation-law violation surfaces as an error here
-// rather than as a silent skew.
+// rather than as a silent skew. With Options.Exact set a third arm — the
+// uniformization solution of the generated CTMC — anchors both sampled
+// estimates to the numerically exact values (small configurations only).
 func CrossCheck(ctx context.Context, p core.Params, o CrossCheckOptions) (*CrossCheckReport, error) {
 	o.fill()
 	m, err := core.Build(p)
@@ -147,6 +186,34 @@ func CrossCheck(ctx context.Context, p core.Params, o CrossCheckOptions) (*Cross
 		excl.Add(dr.FracDomainsExcluded[0])
 	}
 
+	// Optional third arm: the numerically exact values. Saturating the
+	// intrusions counter (Params.Analytic, forced by exact.NewSolver) does
+	// not change any observable, so the exact chain solves the same model
+	// the two simulators just sampled.
+	var exactVals map[string]float64
+	if o.Exact {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := exact.NewSolver(p, mc.Options{MaxStates: o.ExactMaxStates, Workers: o.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("integrity: exact arm: %w", err)
+		}
+		ua, err := s.Unavailability(0, T)
+		if err != nil {
+			return nil, fmt.Errorf("integrity: exact unavailability: %w", err)
+		}
+		ur, err := s.Unreliability(0, T)
+		if err != nil {
+			return nil, fmt.Errorf("integrity: exact unreliability: %w", err)
+		}
+		ex, err := s.FracDomainsExcluded(T)
+		if err != nil {
+			return nil, fmt.Errorf("integrity: exact exclusion fraction: %w", err)
+		}
+		exactVals = map[string]float64{"unavail": ua, "unrel": ur, "excl": ex}
+	}
+
 	report := &CrossCheckReport{Policy: p.Policy, Reps: o.Reps}
 	for _, c := range []struct {
 		name string
@@ -155,13 +222,17 @@ func CrossCheck(ctx context.Context, p core.Params, o CrossCheckOptions) (*Cross
 		{"unavail", &unavail}, {"unrel", &unrel}, {"excl", &excl},
 	} {
 		est := res.MustGet(c.name)
-		report.Measures = append(report.Measures, MeasureAgreement{
+		ma := MeasureAgreement{
 			Name:       c.name,
 			SANMean:    est.Mean,
 			SANHalf:    est.HalfWidth95,
 			DirectMean: c.acc.Mean(),
 			DirectHalf: c.acc.HalfWidth(0.95),
-		})
+		}
+		if exactVals != nil {
+			ma.Exact, ma.HasExact = exactVals[c.name], true
+		}
+		report.Measures = append(report.Measures, ma)
 	}
 	return report, nil
 }

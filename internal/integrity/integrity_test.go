@@ -159,6 +159,29 @@ func TestCrossCheckSmoke(t *testing.T) {
 	}
 }
 
+// TestCrossCheckExact runs the three-arm variant on a configuration small
+// enough for state-space generation: both simulators' 95% intervals must
+// cover the uniformization value of every measure.
+func TestCrossCheckExact(t *testing.T) {
+	p := core.DefaultParams()
+	p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp = 2, 1, 1, 2
+	report, err := CrossCheck(context.Background(), p, CrossCheckOptions{
+		Reps: 300, Seed: 17, Exact: true, ExactMaxStates: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", report)
+	for _, m := range report.Measures {
+		if !m.HasExact {
+			t.Fatalf("%s: exact arm did not run", m.Name)
+		}
+	}
+	if !report.Agree() {
+		t.Errorf("three-arm cross-check disagrees:\n%s", report)
+	}
+}
+
 // TestCrossCheckFull is the heavyweight variant behind `make crosscheck`:
 // more replications, tighter intervals, both policies and a larger
 // topology. Gated on CROSSCHECK_FULL=1 so the ordinary test lane stays

@@ -24,8 +24,9 @@ type AbsorptionResult struct {
 
 // Absorption computes the probability of and mean time to absorption,
 // treating every state with no outgoing transitions as absorbing. The
-// linear systems are solved by Jacobi/Gauss–Seidel sweeps; tol and maxIter
-// bound the iteration (defaults 1e-12 and 1e6).
+// linear systems are solved by Gauss–Seidel sweeps over the CSR rows
+// (columns ascending, so updated values propagate within a sweep); tol and
+// maxIter bound the iteration (defaults 1e-12 and 1e6).
 func (c *CTMC) Absorption(tol float64, maxIter int) (AbsorptionResult, error) {
 	if tol <= 0 {
 		tol = 1e-12
@@ -33,13 +34,13 @@ func (c *CTMC) Absorption(tol float64, maxIter int) (AbsorptionResult, error) {
 	if maxIter <= 0 {
 		maxIter = 1_000_000
 	}
-	n := len(c.states)
+	n := c.n
 	if n == 0 {
 		return AbsorptionResult{}, errors.New("mc: empty chain")
 	}
 	absorbing := make([]bool, n)
 	count := 0
-	for i := range c.rows {
+	for i := 0; i < n; i++ {
 		if c.exit[i] == 0 {
 			absorbing[i] = true
 			count++
@@ -59,13 +60,13 @@ func (c *CTMC) Absorption(tol float64, maxIter int) (AbsorptionResult, error) {
 	}
 	for iter := 0; iter < maxIter; iter++ {
 		diff := 0.0
-		for i := range c.rows {
+		for i := 0; i < n; i++ {
 			if absorbing[i] {
 				continue
 			}
 			sum := 0.0
-			for _, tr := range c.rows[i] {
-				sum += tr.rate * h[tr.to]
+			for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+				sum += c.rates[k] * h[c.cols[k]]
 			}
 			v := sum / c.exit[i]
 			if d := math.Abs(v - h[i]); d > diff {
@@ -94,13 +95,13 @@ func (c *CTMC) Absorption(tol float64, maxIter int) (AbsorptionResult, error) {
 	if finite {
 		for iter := 0; iter < maxIter; iter++ {
 			diff := 0.0
-			for i := range c.rows {
+			for i := 0; i < n; i++ {
 				if absorbing[i] {
 					continue
 				}
 				sum := 1.0
-				for _, tr := range c.rows[i] {
-					sum += tr.rate * t[tr.to]
+				for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+					sum += c.rates[k] * t[c.cols[k]]
 				}
 				v := sum / c.exit[i]
 				if d := math.Abs(v - t[i]); d > diff {
@@ -155,17 +156,17 @@ func (c *CTMC) ExpectedRewardToAbsorption(f func(*san.State) float64, tol float6
 		return 0, fmt.Errorf("mc: absorption probability %v < 1; accumulated reward diverges", abs.Prob)
 	}
 	r := c.RewardVector(f)
-	n := len(c.states)
+	n := c.n
 	t := make([]float64, n)
 	for iter := 0; iter < maxIter; iter++ {
 		diff := 0.0
-		for i := range c.rows {
+		for i := 0; i < n; i++ {
 			if c.exit[i] == 0 {
 				continue
 			}
 			sum := r[i]
-			for _, tr := range c.rows[i] {
-				sum += tr.rate * t[tr.to]
+			for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+				sum += c.rates[k] * t[c.cols[k]]
 			}
 			v := sum / c.exit[i]
 			if d := math.Abs(v - t[i]); d > diff {

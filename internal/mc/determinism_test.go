@@ -1,0 +1,103 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"ituaval/internal/san"
+)
+
+// TestGenerateParallelDeterminism is the golden determinism check the
+// parallel generator is designed around: the assembled chain — state
+// numbering, markings, CSR arrays, rates, exit rates, initial
+// distribution — and the transient solution built on it must be
+// bit-identical at every worker count. Workers only change scheduling;
+// the canonical BFS renumbering erases it.
+func TestGenerateParallelDeterminism(t *testing.T) {
+	models := []struct {
+		name  string
+		build func(t *testing.T) *san.Model
+	}{
+		{"tandem", func(t *testing.T) *san.Model { return buildTandem(9) }},
+		{"branching", func(t *testing.T) *san.Model {
+			m, _, _ := buildBranching(t)
+			return m
+		}},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := Generate(tc.build(t), Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refDist, err := ref.Transient(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				got, err := Generate(tc.build(t), Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				sameChain(t, ref, got, workers)
+				dist, err := got.Transient(3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range refDist {
+					if math.Float64bits(dist[i]) != math.Float64bits(refDist[i]) {
+						t.Fatalf("workers=%d: transient[%d] = %x, want %x (not bit-identical)",
+							workers, i, math.Float64bits(dist[i]), math.Float64bits(refDist[i]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// sameChain asserts b is bit-identical to a in every assembled array.
+func sameChain(t *testing.T, a, b *CTMC, workers int) {
+	t.Helper()
+	if a.n != b.n {
+		t.Fatalf("workers=%d: %d states, want %d", workers, b.n, a.n)
+	}
+	for i := 0; i < a.n; i++ {
+		am, bm := a.StateMarking(i), b.StateMarking(i)
+		for j := range am {
+			if am[j] != bm[j] {
+				t.Fatalf("workers=%d: state %d marking %v, want %v", workers, i, bm, am)
+			}
+		}
+	}
+	if len(a.rowPtr) != len(b.rowPtr) || len(a.cols) != len(b.cols) {
+		t.Fatalf("workers=%d: CSR shape (%d,%d), want (%d,%d)",
+			workers, len(b.rowPtr), len(b.cols), len(a.rowPtr), len(a.cols))
+	}
+	for i := range a.rowPtr {
+		if a.rowPtr[i] != b.rowPtr[i] {
+			t.Fatalf("workers=%d: rowPtr[%d] = %d, want %d", workers, i, b.rowPtr[i], a.rowPtr[i])
+		}
+	}
+	for k := range a.cols {
+		if a.cols[k] != b.cols[k] {
+			t.Fatalf("workers=%d: cols[%d] = %d, want %d", workers, k, b.cols[k], a.cols[k])
+		}
+		if math.Float64bits(a.rates[k]) != math.Float64bits(b.rates[k]) {
+			t.Fatalf("workers=%d: rates[%d] = %v, want %v (not bit-identical)",
+				workers, k, b.rates[k], a.rates[k])
+		}
+	}
+	for i := range a.exit {
+		if math.Float64bits(a.exit[i]) != math.Float64bits(b.exit[i]) {
+			t.Fatalf("workers=%d: exit[%d] = %v, want %v", workers, i, b.exit[i], a.exit[i])
+		}
+	}
+	if len(a.initDist) != len(b.initDist) {
+		t.Fatalf("workers=%d: initDist size %d, want %d", workers, len(b.initDist), len(a.initDist))
+	}
+	for s, p := range a.initDist {
+		if math.Float64bits(b.initDist[s]) != math.Float64bits(p) {
+			t.Fatalf("workers=%d: initDist[%d] = %v, want %v", workers, s, b.initDist[s], p)
+		}
+	}
+}

@@ -2,19 +2,32 @@
 // Markov chains and solves them numerically — the analytic path of the
 // Möbius tool ("Möbius can solve SANs analytically by converting them into
 // equivalent continuous time Markov chains"). The paper's full model was
-// simulated instead; this package exists to cross-validate the simulator on
-// reduced models, exactly the methodological check a validation study needs.
+// simulated; this package cross-validates the simulator exactly, the
+// methodological check a validation study needs.
 //
 // Requirements on the model: every timed activity's distribution must be
 // rng.Exponential (possibly marking-dependent), and no gate effect or
-// initialization hook may draw random numbers (the generator passes a nil
-// random stream; instantaneous races and cases are enumerated
-// probabilistically instead of sampled).
+// initialization hook may draw from ctx.Rand directly (the generator
+// passes a nil random stream). Effects that need randomness through the
+// enumerable choice methods (san.Context.Choose / ChooseWeighted /
+// Permute) remain solvable: every alternative becomes a probabilistic
+// branch. Instantaneous races and cases are likewise enumerated, not
+// sampled.
+//
+// Generation runs on a pool of workers over a sharded byte-arena
+// interner keyed by the compact marking encoding; a sequential renumber
+// pass then assigns canonical breadth-first state numbers, so the chain —
+// state order, transition rates, and every solver result — is bit-for-bit
+// identical at any worker count. The generator matrix is stored in CSR
+// form (row-pointer + column/rate arrays) together with its transpose,
+// which the uniformization solver consumes cache-linearly.
 package mc
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"ituaval/internal/rng"
 	"ituaval/internal/san"
@@ -28,29 +41,336 @@ var ErrNotMarkovian = errors.New("mc: model has a non-exponential timed activity
 // numbers during generation.
 var ErrRandomGate = errors.New("mc: gate effect used the random stream; model is not numerically solvable")
 
-// transition is one outgoing CTMC transition.
-type transition struct {
-	to   int
-	rate float64
-}
-
 // CTMC is a finite continuous-time Markov chain generated from a SAN,
-// together with the stable markings backing each state.
+// together with the stable markings backing each state. The generator is
+// held twice in CSR form: by source row (rowPtr/cols/rates, columns
+// ascending — the order Gauss–Seidel wants) and transposed by target row
+// (tRowPtr/tCols/tRates, sources ascending — the gather order the
+// uniformized matvec wants, race-free under row-parallel execution).
 type CTMC struct {
-	model    *san.Model
-	states   [][]san.Marking
-	rows     [][]transition
-	initDist map[int]float64
+	model   *san.Model
+	n       int
+	nPlaces int
+	// markings holds all state marking vectors flattened, nPlaces each.
+	markings []san.Marking
+
+	rowPtr []int32
+	cols   []int32
+	rates  []float64
+
+	tRowPtr []int32
+	tCols   []int32
+	tRates  []float64
+
 	exit     []float64
+	initDist map[int]float64
+
+	// workers bounds solver parallelism, from Options.Workers.
+	workers int
 }
 
 // Options bounds state-space generation.
 type Options struct {
 	// MaxStates aborts generation beyond this many states (0 = 1<<20).
 	MaxStates int
+	// Workers is the number of parallel generation workers and the row
+	// parallelism of large solves (0 = GOMAXPROCS). Results are
+	// bit-identical at every worker count.
+	Workers int
 }
 
-// Generate explores the reachable stable state space of the model.
+// pair is one aggregated outgoing transition during expansion, keyed by
+// provisional state id.
+type pair struct {
+	to   uint32
+	rate float64
+}
+
+// ---- sharded interner ---------------------------------------------------
+
+// shardBits fixes the shard count; the low key-hash bits pick the shard so
+// concurrent interns mostly hit different locks.
+const shardBits = 6
+
+const numShards = 1 << shardBits
+
+type internEntry struct {
+	hash uint64
+	id   uint32 // local id + 1; 0 marks an empty slot
+}
+
+// internShard is 1/numShards of the state index: an open-addressing table
+// over keys stored back to back in a byte arena, plus the marking vectors
+// of the shard's states. Provisional state ids pack (local id, shard).
+type internShard struct {
+	mu       sync.Mutex
+	entries  []internEntry
+	mask     uint64
+	count    int
+	arena    []byte
+	offs     []uint32 // offs[i]..offs[i+1] is local id i's key; len = count+1
+	markings []san.Marking
+}
+
+func (s *internShard) keyOf(local uint32) []byte {
+	return s.arena[s.offs[local]:s.offs[local+1]]
+}
+
+func (s *internShard) grow() {
+	old := s.entries
+	s.entries = make([]internEntry, 2*len(old))
+	s.mask = uint64(len(s.entries) - 1)
+	for _, e := range old {
+		if e.id == 0 {
+			continue
+		}
+		i := e.hash & s.mask
+		for s.entries[i].id != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.entries[i] = e
+	}
+}
+
+func hashKey(key []byte) uint64 {
+	// FNV-1a; keys are short (one byte per place in the common case).
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ---- generator ----------------------------------------------------------
+
+// generator carries the shared state of one Generate run.
+type generator struct {
+	model     *san.Model
+	nPlaces   int
+	timed     []*san.Activity
+	maxStates int
+
+	shards [numShards]*internShard
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []uint32
+	pending int // interned but not yet fully expanded states
+	failed  error
+	done    bool
+
+	total int // interned states, guarded by mu? no — see intern
+}
+
+// intern returns the provisional id for key (hash-sharded), interning the
+// marking vector on first sight. It enforces MaxStates at intern time, so
+// the state count can never exceed the cap, and names the offending
+// marking in the error.
+func (g *generator) intern(key []byte, m []san.Marking) (pid uint32, fresh bool, err error) {
+	h := hashKey(key)
+	sh := g.shards[h&(numShards-1)]
+	sh.mu.Lock()
+	i := h & sh.mask
+	for {
+		e := sh.entries[i]
+		if e.id == 0 {
+			break
+		}
+		if e.hash == h && string(sh.keyOf(e.id-1)) == string(key) {
+			sh.mu.Unlock()
+			return (e.id-1)<<shardBits | uint32(h&(numShards-1)), false, nil
+		}
+		i = (i + 1) & sh.mask
+	}
+	local := uint32(sh.count)
+	sh.entries[i] = internEntry{hash: h, id: local + 1}
+	sh.count++
+	sh.arena = append(sh.arena, key...)
+	sh.offs = append(sh.offs, uint32(len(sh.arena)))
+	sh.markings = append(sh.markings, m...)
+	if 4*sh.count >= 3*len(sh.entries) {
+		sh.grow()
+	}
+	sh.mu.Unlock()
+
+	g.mu.Lock()
+	g.total++
+	over := g.total > g.maxStates
+	g.mu.Unlock()
+	if over {
+		return 0, false, fmt.Errorf("mc: state space exceeds %d states (offending marking %v)",
+			g.maxStates, append([]san.Marking(nil), m...))
+	}
+	return local<<shardBits | uint32(h&(numShards-1)), true, nil
+}
+
+// loadMarkings copies state pid's marking vector into dst. The shard lock
+// guards the slice header against concurrent arena growth.
+func (g *generator) loadMarkings(pid uint32, dst []san.Marking) {
+	sh := g.shards[pid&(numShards-1)]
+	local := int(pid >> shardBits)
+	sh.mu.Lock()
+	copy(dst, sh.markings[local*g.nPlaces:(local+1)*g.nPlaces])
+	sh.mu.Unlock()
+}
+
+// fail records the first error and wakes every worker.
+func (g *generator) fail(err error) {
+	g.mu.Lock()
+	if g.failed == nil {
+		g.failed = err
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// workerRow is one expanded state: its provisional id and aggregated
+// outgoing transitions in deterministic first-encounter order.
+type workerRow struct {
+	pid   uint32
+	pairs []pair
+}
+
+// genWorker is the per-worker scratch; everything is reused across states
+// so steady-state expansion does not allocate beyond the result rows.
+type genWorker struct {
+	g         *generator
+	scratch   *san.State
+	res       *san.Resolver
+	keyBuf    []byte
+	agg       map[uint32]int32
+	pairs     []pair
+	newIDs    []uint32
+	rateScale float64
+	visitFn   func(*san.State, float64) error
+	rows      []workerRow
+}
+
+func newGenWorker(g *generator) *genWorker {
+	w := &genWorker{
+		g:       g,
+		scratch: g.model.NewState(),
+		res:     san.NewResolver(g.model),
+		agg:     make(map[uint32]int32, 64),
+	}
+	w.visitFn = w.addSuccessor
+	return w
+}
+
+// addSuccessor is the resolver visit hook: intern the stable marking and
+// aggregate the transition rate, in first-encounter order so per-row
+// float summation is identical at every worker count.
+func (w *genWorker) addSuccessor(st *san.State, p float64) error {
+	rate := w.rateScale * p
+	if rate <= 0 {
+		return nil
+	}
+	w.keyBuf = san.AppendMarkingKey(w.keyBuf[:0], st.Markings())
+	pid, fresh, err := w.g.intern(w.keyBuf, st.Markings())
+	if err != nil {
+		return err
+	}
+	if fresh {
+		w.newIDs = append(w.newIDs, pid)
+	}
+	if j, ok := w.agg[pid]; ok {
+		w.pairs[j].rate += rate
+	} else {
+		w.agg[pid] = int32(len(w.pairs))
+		w.pairs = append(w.pairs, pair{to: pid, rate: rate})
+	}
+	return nil
+}
+
+// expand enumerates every timed firing from state pid.
+func (w *genWorker) expand(pid uint32) error {
+	g := w.g
+	g.loadMarkings(pid, w.scratch.Markings())
+	w.scratch.ResetDirty()
+	clear(w.agg)
+	w.pairs = w.pairs[:0]
+	w.newIDs = w.newIDs[:0]
+	for _, a := range g.timed {
+		if !a.Enabled(w.scratch) {
+			continue
+		}
+		dist := a.Dist(w.scratch)
+		expo, ok := dist.(rng.Exponential)
+		if !ok {
+			return fmt.Errorf("%w: activity %q has %v", ErrNotMarkovian, a.Name(), dist)
+		}
+		weights := a.CaseWeightsIn(w.scratch)
+		totalW := 0.0
+		for _, cw := range weights {
+			totalW += cw
+		}
+		if totalW <= 0 {
+			return fmt.Errorf("mc: activity %q has non-positive case weights", a.Name())
+		}
+		for ci := range a.Cases() {
+			if weights[ci] == 0 {
+				continue
+			}
+			w.rateScale = expo.R * (weights[ci] / totalW)
+			if err := w.res.Resolve(w.scratch, a, ci, nil, w.visitFn); err != nil {
+				return err
+			}
+		}
+	}
+	w.rows = append(w.rows, workerRow{pid: pid, pairs: append([]pair(nil), w.pairs...)})
+	return nil
+}
+
+// run is one worker's frontier loop: pop, expand, push the freshly
+// interned successors. Panics (a nil-Rand draw in a gate, a negative
+// marking) are reported as ErrRandomGate, matching the sequential
+// generator's contract.
+func (w *genWorker) run() {
+	g := w.g
+	defer func() {
+		if r := recover(); r != nil {
+			g.fail(fmt.Errorf("%w (%v)", ErrRandomGate, r))
+		}
+	}()
+	for {
+		g.mu.Lock()
+		for len(g.queue) == 0 && !g.done && g.failed == nil {
+			g.cond.Wait()
+		}
+		if g.done || g.failed != nil {
+			g.mu.Unlock()
+			return
+		}
+		pid := g.queue[len(g.queue)-1]
+		g.queue = g.queue[:len(g.queue)-1]
+		g.mu.Unlock()
+
+		err := w.expand(pid)
+
+		g.mu.Lock()
+		if err != nil {
+			if g.failed == nil {
+				g.failed = err
+			}
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			return
+		}
+		g.queue = append(g.queue, w.newIDs...)
+		g.pending += len(w.newIDs) - 1
+		if g.pending == 0 {
+			g.done = true
+		}
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// Generate explores the reachable stable state space of the model and
+// builds the CTMC. State numbering, transition rates, and the initial
+// distribution are reproducible: independent of Options.Workers and of
+// scheduling, bit for bit.
 func Generate(model *san.Model, opts Options) (c *CTMC, err error) {
 	if !model.Finalized() {
 		return nil, errors.New("mc: model not finalized")
@@ -59,142 +379,242 @@ func Generate(model *san.Model, opts Options) (c *CTMC, err error) {
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w (%v)", ErrRandomGate, r)
 		}
 	}()
 
-	c = &CTMC{model: model, initDist: make(map[int]float64)}
-	index := make(map[string]int)
-
-	intern := func(m []san.Marking, key string) int {
-		if id, ok := index[key]; ok {
-			return id
+	g := &generator{
+		model:     model,
+		nPlaces:   len(model.Places()),
+		maxStates: maxStates,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	for i := range g.shards {
+		g.shards[i] = &internShard{
+			entries: make([]internEntry, 64),
+			mask:    63,
+			offs:    []uint32{0},
 		}
-		id := len(c.states)
-		index[key] = id
-		c.states = append(c.states, append([]san.Marking(nil), m...))
-		c.rows = append(c.rows, nil)
-		return id
+	}
+	for _, a := range model.Activities() {
+		if a.Kind() == san.Timed {
+			g.timed = append(g.timed, a)
+		}
 	}
 
-	// Initial stable distribution: run the init hook (deterministic), then
-	// enumerate instantaneous resolutions.
+	// Initial stable distribution: run the init hook and enumerate every
+	// instantaneous (and in-effect choice) resolution, sequentially, so
+	// the renumber seeds are deterministic.
+	seedWorker := newGenWorker(g)
+	var initPairs []pair
+	initAgg := make(map[uint32]int)
 	initState := model.NewState()
-	if hook := model.Init(); hook != nil {
-		hook(&san.Context{State: initState})
-	}
-	initSucs, err := san.EnumerateStable(model, initState)
+	err = seedWorker.res.Resolve(initState, nil, 0, model.Init(), func(st *san.State, prob float64) error {
+		seedWorker.keyBuf = san.AppendMarkingKey(seedWorker.keyBuf[:0], st.Markings())
+		pid, fresh, ierr := g.intern(seedWorker.keyBuf, st.Markings())
+		if ierr != nil {
+			return ierr
+		}
+		if fresh {
+			g.queue = append(g.queue, pid)
+			g.pending++
+		}
+		if j, ok := initAgg[pid]; ok {
+			initPairs[j].rate += prob
+		} else {
+			initAgg[pid] = len(initPairs)
+			initPairs = append(initPairs, pair{to: pid, rate: prob})
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	frontier := make([]int, 0, len(initSucs))
-	for _, suc := range initSucs {
-		id := intern(suc.M, suc.Key)
-		c.initDist[id] += suc.Prob
-		frontier = append(frontier, id)
+	if g.pending == 0 {
+		g.done = true
 	}
 
-	scratch := model.NewState()
-	work := model.NewState()
-	explored := make(map[int]bool)
-	for len(frontier) > 0 {
-		id := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		if explored[id] {
-			continue
+	// Frontier expansion across the worker pool.
+	ws := make([]*genWorker, workers)
+	ws[0] = seedWorker
+	for i := 1; i < workers; i++ {
+		ws[i] = newGenWorker(g)
+	}
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *genWorker) {
+			defer wg.Done()
+			w.run()
+		}(w)
+	}
+	wg.Wait()
+	if g.failed != nil {
+		return nil, g.failed
+	}
+
+	return g.assemble(ws, initPairs)
+}
+
+// assemble renumbers the provisional state ids canonically and builds the
+// final CSR chain. The breadth-first order over the deterministic
+// expansion rows depends only on the model, never on which worker interned
+// a state first, which is what makes parallel generation reproducible.
+func (g *generator) assemble(ws []*genWorker, initPairs []pair) (*CTMC, error) {
+	n := g.total
+	// Rows by provisional id.
+	rowsBy := make([][][]pair, numShards)
+	for s := range rowsBy {
+		rowsBy[s] = make([][]pair, g.shards[s].count)
+	}
+	placed := 0
+	for _, w := range ws {
+		for _, r := range w.rows {
+			rowsBy[r.pid&(numShards-1)][r.pid>>shardBits] = r.pairs
+			placed++
 		}
-		explored[id] = true
-		if len(c.states) > maxStates {
-			return nil, fmt.Errorf("mc: state space exceeds %d states", maxStates)
+	}
+	if placed != n {
+		return nil, fmt.Errorf("mc: internal error: %d states interned but %d expanded", n, placed)
+	}
+
+	// Canonical renumber: BFS from the initial states in enumeration
+	// order, successors in first-encounter expansion order.
+	finalID := make([][]int32, numShards)
+	visited := make([][]uint64, numShards)
+	for s := range finalID {
+		finalID[s] = make([]int32, g.shards[s].count)
+		visited[s] = make([]uint64, (g.shards[s].count+63)/64)
+	}
+	mark := func(pid uint32) bool { // returns true when newly visited
+		s, l := pid&(numShards-1), pid>>shardBits
+		if visited[s][l/64]&(1<<(l%64)) != 0 {
+			return false
 		}
-		copy(scratch.Markings(), c.states[id])
-		scratch.ResetDirty()
-		agg := make(map[int]float64)
-		for _, a := range model.Activities() {
-			if a.Kind() != san.Timed || !a.Enabled(scratch) {
+		visited[s][l/64] |= 1 << (l % 64)
+		return true
+	}
+	order := make([]uint32, 0, n)
+	push := func(pid uint32) {
+		if mark(pid) {
+			finalID[pid&(numShards-1)][pid>>shardBits] = int32(len(order))
+			order = append(order, pid)
+		}
+	}
+	for _, ip := range initPairs {
+		push(ip.to)
+	}
+	for head := 0; head < len(order); head++ {
+		for _, pr := range rowsBy[order[head]&(numShards-1)][order[head]>>shardBits] {
+			push(pr.to)
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("mc: internal error: %d of %d states unreachable after renumber", n-len(order), n)
+	}
+
+	// Final flat arrays in canonical order.
+	c := &CTMC{
+		model:    g.model,
+		n:        n,
+		nPlaces:  g.nPlaces,
+		markings: make([]san.Marking, n*g.nPlaces),
+		rowPtr:   make([]int32, n+1),
+		exit:     make([]float64, n),
+		initDist: make(map[int]float64, len(initPairs)),
+		workers:  len(ws),
+	}
+	fidOf := func(pid uint32) int32 { return finalID[pid&(numShards-1)][pid>>shardBits] }
+	nnz := 0
+	for fid, pid := range order {
+		sh := g.shards[pid&(numShards-1)]
+		local := int(pid >> shardBits)
+		copy(c.markings[fid*g.nPlaces:], sh.markings[local*g.nPlaces:(local+1)*g.nPlaces])
+		for _, pr := range rowsBy[pid&(numShards-1)][local] {
+			if pr.to != pid { // self-loops cancel in the generator
+				nnz++
+			}
+		}
+		c.rowPtr[fid+1] = int32(nnz)
+	}
+	c.cols = make([]int32, nnz)
+	c.rates = make([]float64, nnz)
+	for fid, pid := range order {
+		lo := c.rowPtr[fid]
+		k := lo
+		for _, pr := range rowsBy[pid&(numShards-1)][pid>>shardBits] {
+			if pr.to == pid {
 				continue
 			}
-			dist := a.Dist(scratch)
-			expo, ok := dist.(rng.Exponential)
-			if !ok {
-				return nil, fmt.Errorf("%w: activity %q has %v", ErrNotMarkovian, a.Name(), dist)
-			}
-			weights := a.CaseWeightsIn(scratch)
-			totalW := 0.0
-			for _, w := range weights {
-				totalW += w
-			}
-			if totalW <= 0 {
-				return nil, fmt.Errorf("mc: activity %q has non-positive case weights", a.Name())
-			}
-			for ci := range a.Cases() {
-				if weights[ci] == 0 {
-					continue
-				}
-				copy(work.Markings(), c.states[id])
-				work.ResetDirty()
-				a.Fire(&san.Context{State: work}, ci)
-				sucs, err := san.EnumerateStable(model, work)
-				if err != nil {
-					return nil, err
-				}
-				for _, suc := range sucs {
-					rate := expo.R * (weights[ci] / totalW) * suc.Prob
-					if rate <= 0 {
-						continue
-					}
-					to := intern(suc.M, suc.Key)
-					agg[to] += rate
-					if !explored[to] {
-						frontier = append(frontier, to)
-					}
-				}
-			}
+			c.cols[k] = fidOf(pr.to)
+			c.rates[k] = pr.rate
+			k++
 		}
-		row := make([]transition, 0, len(agg))
-		exit := 0.0
-		for to, rate := range agg {
-			if to == id {
-				continue // self-loops cancel in the generator
+		// Insertion sort by column: rows are short and nearly sorted.
+		for i := lo + 1; i < k; i++ {
+			cc, rr := c.cols[i], c.rates[i]
+			j := i
+			for j > lo && c.cols[j-1] > cc {
+				c.cols[j], c.rates[j] = c.cols[j-1], c.rates[j-1]
+				j--
 			}
-			row = append(row, transition{to: to, rate: rate})
-			exit += rate
+			c.cols[j], c.rates[j] = cc, rr
 		}
-		c.rows[id] = row
-		for len(c.exit) <= id {
-			c.exit = append(c.exit, 0)
+		e := 0.0
+		for i := lo; i < k; i++ {
+			e += c.rates[i]
 		}
-		c.exit[id] = exit
+		c.exit[fid] = e
 	}
-	// exit may be shorter than states if the last explored ids were dense;
-	// normalize length.
-	for len(c.exit) < len(c.states) {
-		c.exit = append(c.exit, 0)
+
+	// Transpose (incoming transitions, sources ascending).
+	c.tRowPtr = make([]int32, n+1)
+	for _, col := range c.cols {
+		c.tRowPtr[col+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.tRowPtr[i+1] += c.tRowPtr[i]
+	}
+	c.tCols = make([]int32, nnz)
+	c.tRates = make([]float64, nnz)
+	cursor := make([]int32, n)
+	copy(cursor, c.tRowPtr[:n])
+	for i := 0; i < n; i++ {
+		for k := c.rowPtr[i]; k < c.rowPtr[i+1]; k++ {
+			col := c.cols[k]
+			c.tCols[cursor[col]] = int32(i)
+			c.tRates[cursor[col]] = c.rates[k]
+			cursor[col]++
+		}
+	}
+
+	for _, ip := range initPairs {
+		c.initDist[int(fidOf(ip.to))] += ip.rate
 	}
 	return c, nil
 }
 
 // NumStates returns the number of stable states.
-func (c *CTMC) NumStates() int { return len(c.states) }
+func (c *CTMC) NumStates() int { return c.n }
 
 // NumTransitions returns the number of distinct transitions.
-func (c *CTMC) NumTransitions() int {
-	n := 0
-	for _, row := range c.rows {
-		n += len(row)
-	}
-	return n
-}
+func (c *CTMC) NumTransitions() int { return len(c.cols) }
 
 // StateMarking returns the marking vector of state id (aliased; do not
 // modify).
-func (c *CTMC) StateMarking(id int) []san.Marking { return c.states[id] }
+func (c *CTMC) StateMarking(id int) []san.Marking {
+	return c.markings[id*c.nPlaces : (id+1)*c.nPlaces : (id+1)*c.nPlaces]
+}
 
 // evalState evaluates f on the marking of state id using a scratch state.
 func (c *CTMC) evalState(f func(*san.State) float64, scratch *san.State, id int) float64 {
-	copy(scratch.Markings(), c.states[id])
+	copy(scratch.Markings(), c.StateMarking(id))
 	scratch.ResetDirty()
 	return f(scratch)
 }
@@ -202,8 +622,8 @@ func (c *CTMC) evalState(f func(*san.State) float64, scratch *san.State, id int)
 // RewardVector evaluates f over every state.
 func (c *CTMC) RewardVector(f func(*san.State) float64) []float64 {
 	scratch := c.model.NewState()
-	r := make([]float64, len(c.states))
-	for i := range c.states {
+	r := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
 		r[i] = c.evalState(f, scratch, i)
 	}
 	return r
@@ -211,7 +631,7 @@ func (c *CTMC) RewardVector(f func(*san.State) float64) []float64 {
 
 // InitialDistribution returns a dense copy of the initial distribution.
 func (c *CTMC) InitialDistribution() []float64 {
-	p := make([]float64, len(c.states))
+	p := make([]float64, c.n)
 	for id, prob := range c.initDist {
 		p[id] = prob
 	}

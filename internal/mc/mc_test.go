@@ -3,6 +3,7 @@ package mc
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"ituaval/internal/reward"
@@ -290,8 +291,19 @@ func TestGenerateRejectsRandomGate(t *testing.T) {
 
 func TestGenerateMaxStates(t *testing.T) {
 	m, _ := buildMM1K(t, 1, 1, 50)
-	if _, err := Generate(m, Options{MaxStates: 10}); err == nil {
+	_, err := Generate(m, Options{MaxStates: 10})
+	if err == nil {
 		t.Fatal("expected state-space bound error")
+	}
+	// The bound is enforced at intern time — the 11th distinct marking
+	// trips it — and the error names both the bound and the offending
+	// marking so oversized configurations are diagnosable.
+	msg := err.Error()
+	if !strings.Contains(msg, "exceeds 10 states") {
+		t.Fatalf("error does not name the bound: %q", msg)
+	}
+	if !strings.Contains(msg, "offending marking") || !strings.Contains(msg, "[10]") {
+		t.Fatalf("error does not carry the offending marking: %q", msg)
 	}
 }
 

@@ -4,17 +4,180 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"ituaval/internal/san"
 )
 
-// uniformized returns the DTMC transition function of the uniformized chain
-// and the uniformization rate Λ (strictly greater than every exit rate, so
-// every state keeps a self-loop and the chain is aperiodic).
-func (c *CTMC) uniformized() (step func(v, out []float64), lambda float64) {
-	lambda = 0.0
-	for _, e := range c.exit {
-		if e > lambda {
+// ErrPoissonTruncation is returned when the Poisson weight window cannot
+// reach the requested probability mass — the remaining terms underflow or
+// the window would grow beyond any plausible size — so a uniformization
+// result at the requested accuracy is not available. The old solver
+// silently truncated in this situation; now the error carries through
+// Transient, TransientReward, IntervalAverageReward, and
+// FirstPassageProb.
+var ErrPoissonTruncation = errors.New("mc: Poisson window cannot reach the requested probability mass")
+
+// poissonWindow holds the Fox–Glynn-style truncated Poisson(mu) weights:
+// terms[i] ≈ P(N = left+i), computed by the stable two-sided recurrence
+// from the mode (p(k+1) = p(k)·mu/(k+1) upward, p(k-1) = p(k)·k/mu
+// downward) and extended greedily — one term at a time, largest next term
+// first — until geometric bounds show the dropped tails are below eps of
+// the retained weight. As in Fox–Glynn the raw weights are treated as
+// relative (at large mu the mode term, a difference of huge near-canceling
+// logarithms, carries a common relative bias far above eps) and the window
+// is normalized by its total, so the retained terms sum to one. Left
+// truncation matters at large mu (the uniformized step count is Λt): the
+// weights below left underflow and their steps contribute nothing to the
+// weighted sum, though the transient loop still has to advance the DTMC
+// through them.
+type poissonWindow struct {
+	left  int
+	terms []float64
+}
+
+// windowGrowthCap bounds the window extension beyond the mode; reaching it
+// means eps is unattainably small for this mu.
+const windowGrowthCap = 10_000_000
+
+func newPoissonWindow(mu, eps float64) (*poissonWindow, error) {
+	if mu < 0 {
+		panic("mc: negative Poisson mean")
+	}
+	if mu == 0 {
+		return &poissonWindow{left: 0, terms: []float64{1}}, nil
+	}
+	mode := int(mu)
+	lg, _ := math.Lgamma(float64(mode + 1))
+	pMode := math.Exp(-mu + float64(mode)*math.Log(mu) - lg)
+	if pMode == 0 {
+		return nil, fmt.Errorf("%w: mode term underflows at mu=%g", ErrPoissonTruncation, mu)
+	}
+	lo, hi := mode, mode
+	pLo, pHi := pMode, pMode
+	mass := pMode
+	// left side is collected in descending-k order and reversed at the end.
+	leftRev := []float64(nil)
+	right := []float64(nil)
+	for {
+		nextLo := 0.0
+		if lo > 0 {
+			nextLo = pLo * float64(lo) / mu
+		}
+		nextHi := pHi * mu / float64(hi+1)
+		// Terms decay at least geometrically away from the mode, so each
+		// dropped tail is bounded by its next term times the geometric
+		// ratio's closed form: Σ_{j<lo} p(j) ≤ nextLo/(1-(lo-1)/mu) and
+		// Σ_{j>hi} p(j) ≤ nextHi/(1-mu/(hi+2)). Underflowed sides (next
+		// term exactly 0) contribute a zero bound: the true mass beyond
+		// the underflow point is below 10^-300 of the retained weight.
+		tail := 0.0
+		if nextLo > 0 {
+			tail += nextLo * mu / (mu - float64(lo-1))
+		}
+		if nextHi > 0 {
+			tail += nextHi / (1 - mu/float64(hi+2))
+		}
+		if tail <= eps*mass {
+			break
+		}
+		if nextLo >= nextHi {
+			lo--
+			pLo = nextLo
+			leftRev = append(leftRev, pLo)
+			mass += pLo
+		} else {
+			hi++
+			if hi > mode+windowGrowthCap {
+				return nil, fmt.Errorf("%w: window exceeds %d terms at mu=%g (eps=%g)",
+					ErrPoissonTruncation, windowGrowthCap, mu, eps)
+			}
+			pHi = nextHi
+			right = append(right, pHi)
+			mass += pHi
+		}
+	}
+	terms := make([]float64, 0, len(leftRev)+1+len(right))
+	for i := len(leftRev) - 1; i >= 0; i-- {
+		terms = append(terms, leftRev[i])
+	}
+	terms = append(terms, pMode)
+	terms = append(terms, right...)
+	// Fox–Glynn normalization: the common relative bias of the recurrence
+	// divides out, leaving the retained weights summing to one.
+	for i := range terms {
+		terms[i] /= mass
+	}
+	return &poissonWindow{left: lo, terms: terms}, nil
+}
+
+// prob returns P(N = k) within the window, 0 outside it.
+func (w *poissonWindow) prob(k int) float64 {
+	i := k - w.left
+	if i < 0 || i >= len(w.terms) {
+		return 0
+	}
+	return w.terms[i]
+}
+
+// last is the highest k carrying retained mass.
+func (w *poissonWindow) last() int { return w.left + len(w.terms) - 1 }
+
+// uniStep is the one-step operator of the uniformized DTMC with every
+// probability precomputed: out[i] = stay[i]·v[i] + Σ_k prob[k]·v[src[k]]
+// over state i's incoming transitions (transposed CSR, sources ascending).
+// Each out[i] is written by exactly one row range with a fixed per-row
+// summation order, so results are bit-identical at every worker count.
+type uniStep struct {
+	n       int
+	stay    []float64
+	tRowPtr []int32
+	tCols   []int32
+	tProb   []float64
+	workers int
+}
+
+// parallelSolveMin is the problem size (states + transitions) below which
+// row-parallel matvec is not worth the goroutine handoff.
+const parallelSolveMin = 1 << 15
+
+func (s *uniStep) apply(v, out []float64) {
+	if s.workers > 1 && s.n+len(s.tCols) >= parallelSolveMin {
+		var wg sync.WaitGroup
+		chunk := (s.n + s.workers - 1) / s.workers
+		for lo := 0; lo < s.n; lo += chunk {
+			hi := min(lo+chunk, s.n)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				s.applyRange(v, out, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	s.applyRange(v, out, 0, s.n)
+}
+
+func (s *uniStep) applyRange(v, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		acc := s.stay[i] * v[i]
+		for k := s.tRowPtr[i]; k < s.tRowPtr[i+1]; k++ {
+			acc += s.tProb[k] * v[s.tCols[k]]
+		}
+		out[i] = acc
+	}
+}
+
+// uniOperator builds the uniformized step operator. Λ is 1.02× the largest
+// exit rate (strictly above every exit rate, so each state keeps a
+// self-loop and the DTMC is aperiodic). When bad is non-nil, states marked
+// bad absorb: their mass stays put and their outgoing probabilities are
+// zeroed, and Λ is taken over the non-bad states only.
+func (c *CTMC) uniOperator(bad []bool) (*uniStep, float64) {
+	lambda := 0.0
+	for i, e := range c.exit {
+		if (bad == nil || !bad[i]) && e > lambda {
 			lambda = e
 		}
 	}
@@ -22,87 +185,103 @@ func (c *CTMC) uniformized() (step func(v, out []float64), lambda float64) {
 	if lambda == 0 {
 		lambda = 1 // absorbing-only chain: identity steps
 	}
-	step = func(v, out []float64) {
-		for i := range out {
-			out[i] = 0
-		}
-		for i, row := range c.rows {
-			if v[i] == 0 {
-				continue
-			}
-			stay := v[i] * (1 - c.exit[i]/lambda)
-			out[i] += stay
-			for _, tr := range row {
-				out[tr.to] += v[i] * tr.rate / lambda
-			}
+	s := &uniStep{
+		n:       c.n,
+		stay:    make([]float64, c.n),
+		tRowPtr: c.tRowPtr,
+		tCols:   c.tCols,
+		tProb:   make([]float64, len(c.tRates)),
+		workers: c.workers,
+	}
+	for i := 0; i < c.n; i++ {
+		if bad != nil && bad[i] {
+			s.stay[i] = 1
+		} else {
+			s.stay[i] = 1 - c.exit[i]/lambda
 		}
 	}
-	return step, lambda
+	for k := range c.tRates {
+		if src := c.tCols[k]; bad != nil && bad[src] {
+			s.tProb[k] = 0
+		} else {
+			s.tProb[k] = c.tRates[k] / lambda
+		}
+	}
+	return s, lambda
 }
 
-// poissonTerms returns Poisson(mu) probabilities for k = 0..K where K is
-// chosen so the truncated mass exceeds 1 - eps. Uses a stable recursion in
-// log space for large mu.
-func poissonTerms(mu, eps float64) []float64 {
-	if mu < 0 {
-		panic("mc: negative Poisson mean")
+// uniformized returns the DTMC transition function of the uniformized
+// chain and the uniformization rate Λ.
+func (c *CTMC) uniformized() (step func(v, out []float64), lambda float64) {
+	op, l := c.uniOperator(nil)
+	return op.apply, l
+}
+
+// Steady-state detection inside the transient loop: once successive
+// uniformized iterates agree to ssTol in max norm the chain has mixed, so
+// the remaining Poisson mass multiplies the current vector and the
+// (possibly very long, Λt-step) iteration exits early.
+const (
+	ssTol        = 1e-12
+	ssCheckFrom  = 32
+	ssCheckEvery = 4
+)
+
+// transientDist runs the uniformization sum Σ_k P(N(Λt)=k)·v_k under the
+// given step operator.
+func transientDist(op *uniStep, v []float64, lambda, t, eps float64) ([]float64, error) {
+	w, err := newPoissonWindow(lambda*t, eps)
+	if err != nil {
+		return nil, err
 	}
-	if mu == 0 {
-		return []float64{1}
-	}
-	// Start from the (log of the) mode to avoid underflow, then fill both
-	// directions until mass >= 1-eps.
-	mode := int(mu)
-	logP := func(k int) float64 {
-		lg, _ := math.Lgamma(float64(k + 1))
-		return -mu + float64(k)*math.Log(mu) - lg
-	}
-	// Expand upper bound until cumulative mass is sufficient.
-	hi := mode
-	total := 0.0
-	var terms []float64
-	for {
-		hi += 32
-		terms = make([]float64, hi+1)
-		total = 0.0
-		for k := 0; k <= hi; k++ {
-			terms[k] = math.Exp(logP(k))
-			total += terms[k]
+	out := make([]float64, len(v))
+	next := make([]float64, len(v))
+	cum := 0.0
+	for k := 0; ; k++ {
+		if pk := w.prob(k); pk > 0 {
+			for i := range v {
+				out[i] += pk * v[i]
+			}
+			cum += pk
 		}
-		if total >= 1-eps || hi > int(mu)+10000000 {
-			break
+		if k >= w.last() {
+			return out, nil
 		}
+		op.apply(v, next)
+		if k >= ssCheckFrom && k%ssCheckEvery == 0 {
+			diff := 0.0
+			for i := range v {
+				if d := math.Abs(next[i] - v[i]); d > diff {
+					diff = d
+				}
+			}
+			if diff <= ssTol {
+				rem := 1 - cum
+				for i := range out {
+					out[i] += rem * next[i]
+				}
+				return out, nil
+			}
+		}
+		v, next = next, v
 	}
-	return terms
 }
 
 // Transient returns the state distribution at time t, starting from the
-// model's initial distribution, computed by uniformization.
+// model's initial distribution, computed by uniformization with Fox–Glynn
+// truncation and steady-state detection.
 func (c *CTMC) Transient(t float64) ([]float64, error) {
 	if t < 0 {
 		return nil, errors.New("mc: negative time")
 	}
 	v := c.InitialDistribution()
-	if t == 0 {
+	if t == 0 || c.n == 0 {
 		return v, nil
 	}
-	step, lambda := c.uniformized()
-	terms := poissonTerms(lambda*t, 1e-12)
-	out := make([]float64, len(v))
-	next := make([]float64, len(v))
-	for k := 0; ; k++ {
-		w := 0.0
-		if k < len(terms) {
-			w = terms[k]
-		}
-		for i := range v {
-			out[i] += w * v[i]
-		}
-		if k >= len(terms)-1 {
-			break
-		}
-		step(v, next)
-		v, next = next, v
+	op, lambda := c.uniOperator(nil)
+	out, err := transientDist(op, v, lambda, t, 1e-12)
+	if err != nil {
+		return nil, fmt.Errorf("mc: transient at t=%v: %w", t, err)
 	}
 	return out, nil
 }
@@ -125,14 +304,16 @@ func (c *CTMC) IntervalAverageReward(t float64, f func(*san.State) float64) (flo
 	}
 	r := c.RewardVector(f)
 	v := c.InitialDistribution()
-	step, lambda := c.uniformized()
-	terms := poissonTerms(lambda*t, 1e-12)
-	// tail[k] = P(N > k) = 1 - sum_{j<=k} terms[j]
+	op, lambda := c.uniOperator(nil)
+	w, err := newPoissonWindow(lambda*t, 1e-12)
+	if err != nil {
+		return 0, fmt.Errorf("mc: interval reward over [0,%v]: %w", t, err)
+	}
 	next := make([]float64, len(v))
 	acc := 0.0
 	cum := 0.0
-	for k := 0; k < len(terms); k++ {
-		cum += terms[k]
+	for k := 0; k <= w.last(); k++ {
+		cum += w.prob(k)
 		tail := 1 - cum
 		if tail < 0 {
 			tail = 0
@@ -141,7 +322,7 @@ func (c *CTMC) IntervalAverageReward(t float64, f func(*san.State) float64) (flo
 		if tail == 0 {
 			break
 		}
-		step(v, next)
+		op.apply(v, next)
 		v, next = next, v
 	}
 	return acc / lambda / t, nil
@@ -159,10 +340,10 @@ func (c *CTMC) SteadyState(tol float64, maxIter int) ([]float64, error) {
 		maxIter = 1_000_000
 	}
 	v := c.InitialDistribution()
-	step, _ := c.uniformized()
+	op, _ := c.uniOperator(nil)
 	next := make([]float64, len(v))
 	for iter := 0; iter < maxIter; iter++ {
-		step(v, next)
+		op.apply(v, next)
 		diff := 0.0
 		for i := range v {
 			diff += math.Abs(next[i] - v[i])
@@ -191,60 +372,19 @@ func (c *CTMC) FirstPassageProb(t float64, pred func(*san.State) bool) (float64,
 	if t < 0 {
 		return 0, errors.New("mc: negative time")
 	}
-	bad := make([]bool, len(c.states))
+	bad := make([]bool, c.n)
 	scratch := c.model.NewState()
-	for i := range c.states {
-		copy(scratch.Markings(), c.states[i])
+	for i := 0; i < c.n; i++ {
+		copy(scratch.Markings(), c.StateMarking(i))
 		scratch.ResetDirty()
 		bad[i] = pred(scratch)
 	}
-	// Build a modified uniformized step where bad states absorb.
-	lambda := 0.0
-	for i, e := range c.exit {
-		if !bad[i] && e > lambda {
-			lambda = e
-		}
-	}
-	lambda *= 1.02
-	if lambda == 0 {
-		lambda = 1
-	}
-	step := func(v, out []float64) {
-		for i := range out {
-			out[i] = 0
-		}
-		for i, row := range c.rows {
-			if v[i] == 0 {
-				continue
-			}
-			if bad[i] {
-				out[i] += v[i]
-				continue
-			}
-			out[i] += v[i] * (1 - c.exit[i]/lambda)
-			for _, tr := range row {
-				out[tr.to] += v[i] * tr.rate / lambda
-			}
-		}
-	}
 	v := c.InitialDistribution()
 	if t > 0 {
-		terms := poissonTerms(lambda*t, 1e-12)
-		out := make([]float64, len(v))
-		next := make([]float64, len(v))
-		for k := 0; ; k++ {
-			w := 0.0
-			if k < len(terms) {
-				w = terms[k]
-			}
-			for i := range v {
-				out[i] += w * v[i]
-			}
-			if k >= len(terms)-1 {
-				break
-			}
-			step(v, next)
-			v, next = next, v
+		op, lambda := c.uniOperator(bad)
+		out, err := transientDist(op, v, lambda, t, 1e-12)
+		if err != nil {
+			return 0, fmt.Errorf("mc: first passage by t=%v: %w", t, err)
 		}
 		v = out
 	}

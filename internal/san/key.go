@@ -1,0 +1,46 @@
+package san
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendMarkingKey appends a compact, injective encoding of the marking
+// vector to dst and returns the extended slice. Each marking is written as
+// an unsigned varint, so the small values that dominate real state spaces
+// (SAN markings are mostly 0/1 flags and short counters) cost one byte
+// instead of the four of the historical fixed-width encoding. Two marking
+// vectors of the same length encode equal iff they are equal: varints are a
+// prefix code, so the concatenation decodes unambiguously.
+func AppendMarkingKey(dst []byte, m []Marking) []byte {
+	for _, v := range m {
+		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+	}
+	return dst
+}
+
+// DecodeMarkingKey decodes a key produced by AppendMarkingKey, appending
+// the markings to out (which may be nil) and returning the extended slice.
+// It errors on truncated input, marking overflow, or trailing bytes, so a
+// corrupted key cannot decode silently.
+func DecodeMarkingKey(key []byte, out []Marking) ([]Marking, error) {
+	for len(key) > 0 {
+		v, n := binary.Uvarint(key)
+		if n <= 0 {
+			return nil, fmt.Errorf("san: truncated or overlong marking key at byte %d", len(key))
+		}
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("san: marking key value %d overflows int32", v)
+		}
+		out = append(out, Marking(v))
+		key = key[n:]
+	}
+	return out, nil
+}
+
+// Key returns the marking vector encoded as a string, usable as a map key
+// for state-space exploration. The encoding is AppendMarkingKey's.
+func (s *State) Key() string {
+	return string(AppendMarkingKey(make([]byte, 0, len(s.m)), s.m))
+}

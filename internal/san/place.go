@@ -102,16 +102,6 @@ func (s *State) CopyFrom(src *State) {
 	s.ResetDirty()
 }
 
-// Key returns the marking vector encoded as a string, usable as a map key
-// for state-space exploration.
-func (s *State) Key() string {
-	b := make([]byte, 0, 4*len(s.m))
-	for _, v := range s.m {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
-}
-
 // ResetDirty clears the dirty-place list.
 func (s *State) ResetDirty() {
 	for _, i := range s.dirty {
@@ -158,4 +148,9 @@ type Context struct {
 	State *State
 	Rand  *rng.Stream
 	Now   float64
+
+	// enum, when non-nil, redirects the enumerable choice methods
+	// (Choose, ChooseWeighted, Permute) from sampling to exhaustive
+	// branching; it is set only by the analytic Resolver.
+	enum *enumChooser
 }

@@ -1,0 +1,190 @@
+package san
+
+import (
+	"fmt"
+	"sort"
+)
+
+// maxEnumDepth bounds the instantaneous-firing recursion during
+// enumeration, the analytic counterpart of maxInstantChain.
+const maxEnumDepth = 64
+
+// Resolver enumerates every probabilistic resolution of an activity firing
+// down to stable markings: the tree spanned by the in-effect enumerable
+// choices (Context.Choose / ChooseWeighted / Permute) and by the races and
+// cases of the instantaneous activities that fire afterwards. It is the
+// analytic-path counterpart of Stabilize and the engine under
+// EnumerateStable and mc.Generate.
+//
+// A Resolver is single-use-at-a-time and not safe for concurrent use; the
+// state and buffer pools inside make the common case — a firing with no
+// branching — free of per-call allocation.
+type Resolver struct {
+	m      *Model
+	ec     enumChooser
+	frames []*resolveFrame
+	visit  func(*State, float64) error
+}
+
+// resolveFrame holds the per-depth scratch: the working state executions
+// at this depth mutate, the instantaneous-activity buffer, and the stack
+// of pending choice scripts.
+type resolveFrame struct {
+	state   *State
+	insts   []*Activity
+	scripts [][]int
+}
+
+// NewResolver returns a resolver for m, which must be finalized.
+func NewResolver(m *Model) *Resolver {
+	if !m.Finalized() {
+		panic("san: NewResolver before Finalize")
+	}
+	return &Resolver{m: m}
+}
+
+func (r *Resolver) frame(depth int) *resolveFrame {
+	for len(r.frames) <= depth {
+		r.frames = append(r.frames, &resolveFrame{state: r.m.NewState()})
+	}
+	return r.frames[depth]
+}
+
+// Resolve enumerates the stable outcomes of firing case ci of activity a
+// from base — or, when a is nil, of running fn (which may itself be nil,
+// e.g. to resolve an already-vanishing marking) — and calls visit once per
+// outcome path with the resulting stable state and the path probability.
+// base is not modified. The state passed to visit is pooled and valid only
+// during the call; the same stable marking can be reached on several paths,
+// so callers aggregate probabilities by marking key.
+//
+// Gate code runs with a nil Rand: a direct ctx.Rand draw panics (the
+// caller reports the model as not numerically solvable), while the
+// enumerable choice methods branch exhaustively.
+func (r *Resolver) Resolve(base *State, a *Activity, ci int, fn func(*Context), visit func(*State, float64) error) error {
+	r.visit = visit
+	defer func() { r.visit = nil }()
+	return r.fire(0, base, a, ci, fn, 1)
+}
+
+// fire executes one firing (activity case or free function) from base once
+// per distinct in-effect decision path, resolving each outcome's
+// instantaneous activities, with depth indexing the scratch pools.
+func (r *Resolver) fire(depth int, base *State, a *Activity, ci int, fn func(*Context), prob float64) error {
+	if depth >= maxEnumDepth {
+		return fmt.Errorf("%w (enumeration depth > %d)", ErrUnstable, maxEnumDepth)
+	}
+	f := r.frame(depth)
+	scripts := append(f.scripts[:0], nil)
+	for len(scripts) > 0 {
+		script := scripts[len(scripts)-1]
+		scripts = scripts[:len(scripts)-1]
+		st := f.state
+		st.CopyFrom(base)
+		r.ec.reset(script)
+		ctx := Context{State: st, enum: &r.ec}
+		switch {
+		case a != nil:
+			a.Fire(&ctx, ci)
+		case fn != nil:
+			fn(&ctx)
+		}
+		// Fork the untaken alternatives of every fresh choice point now:
+		// the recursion below reuses the shared chooser.
+		for j := len(script); j < len(r.ec.path); j++ {
+			cp := r.ec.path[j]
+			for alt := cp.taken + 1; alt < cp.n; alt++ {
+				if cp.w != nil && !(cp.w[alt] > 0) {
+					continue
+				}
+				ns := make([]int, j+1)
+				for i := 0; i < j; i++ {
+					ns[i] = r.ec.path[i].taken
+				}
+				ns[j] = alt
+				scripts = append(scripts, ns)
+			}
+		}
+		p := prob * r.ec.prob
+		f.scripts = scripts // keep ownership across the recursion
+		if err := r.settle(depth, st, p); err != nil {
+			return err
+		}
+		scripts = f.scripts
+	}
+	f.scripts = scripts[:0]
+	return nil
+}
+
+// settle resolves the instantaneous activities enabled in s (a state owned
+// by depth's frame), recursing through fire for each race/case branch, and
+// visits s when it is stable.
+func (r *Resolver) settle(depth int, s *State, prob float64) error {
+	f := r.frames[depth]
+	enabled := r.m.MaxInstantPriorityEnabledInto(s, f.insts[:0])
+	f.insts = enabled
+	if len(enabled) == 0 {
+		return r.visit(s, prob)
+	}
+	totalW := 0.0
+	for _, a := range enabled {
+		totalW += a.Weight()
+	}
+	for _, a := range enabled {
+		weights := a.CaseWeightsIn(s)
+		totalCW := 0.0
+		for _, w := range weights {
+			totalCW += w
+		}
+		if totalCW <= 0 {
+			return fmt.Errorf("san: activity %q has non-positive case weights during enumeration", a.Name())
+		}
+		for ci := range a.Cases() {
+			if weights[ci] == 0 {
+				continue
+			}
+			p := prob * (a.Weight() / totalW) * (weights[ci] / totalCW)
+			if err := r.fire(depth+1, s, a, ci, nil, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Successor is one probabilistic outcome of resolving the instantaneous
+// activities from a (vanishing) marking: a stable marking reached with the
+// given probability. Key is the compact AppendMarkingKey encoding.
+type Successor struct {
+	Key  string
+	M    []Marking
+	Prob float64
+}
+
+// EnumerateStable explores every resolution of the instantaneous
+// activities from the marking in s and returns the distribution over
+// stable markings, sorted by marking key so the order is reproducible.
+// The probability of each branch combines the race weights with the case
+// weights; in-effect enumerable choices branch exhaustively, and any
+// direct ctx.Rand draw panics (the caller reports the model as not
+// numerically solvable).
+func EnumerateStable(m *Model, s *State) ([]Successor, error) {
+	r := NewResolver(m)
+	acc := make(map[string]int)
+	var out []Successor
+	err := r.Resolve(s, nil, 0, nil, func(st *State, prob float64) error {
+		key := string(AppendMarkingKey(make([]byte, 0, len(st.m)), st.m))
+		if i, ok := acc[key]; ok {
+			out[i].Prob += prob
+			return nil
+		}
+		acc[key] = len(out)
+		out = append(out, Successor{Key: key, M: append([]Marking(nil), st.m...), Prob: prob})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

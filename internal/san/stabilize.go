@@ -44,77 +44,3 @@ func Stabilize(m *Model, ctx *Context) (int, error) {
 		}
 	}
 }
-
-// Successor is one probabilistic outcome of resolving the instantaneous
-// activities from a (vanishing) marking: a stable marking reached with the
-// given probability. Used by the numerical solver to eliminate vanishing
-// states.
-type Successor struct {
-	Key  string
-	M    []Marking
-	Prob float64
-}
-
-// EnumerateStable explores every resolution of the instantaneous activities
-// from the marking in s and returns the distribution over stable markings.
-// The model's gate functions must be deterministic (no ctx.Rand use): the
-// context passed to effects carries a nil Rand, so any draw panics, which
-// the caller reports as "model not numerically solvable". The probability
-// of each branch combines the race weights with the case weights.
-func EnumerateStable(m *Model, s *State) ([]Successor, error) {
-	acc := make(map[string]*Successor)
-	var rec func(cur *State, prob float64, depth int) error
-	rec = func(cur *State, prob float64, depth int) error {
-		if depth > 64 {
-			return fmt.Errorf("%w (enumeration depth > 64)", ErrUnstable)
-		}
-		enabled := m.MaxInstantPriorityEnabled(cur)
-		if len(enabled) == 0 {
-			key := cur.Key()
-			if suc, ok := acc[key]; ok {
-				suc.Prob += prob
-			} else {
-				acc[key] = &Successor{Key: key, M: append([]Marking(nil), cur.m...), Prob: prob}
-			}
-			return nil
-		}
-		totalW := 0.0
-		for _, a := range enabled {
-			totalW += a.Weight()
-		}
-		for _, a := range enabled {
-			weights := a.CaseWeightsIn(cur)
-			totalCW := 0.0
-			for _, w := range weights {
-				totalCW += w
-			}
-			if totalCW <= 0 {
-				return fmt.Errorf("san: activity %q has non-positive case weights during enumeration", a.Name())
-			}
-			for ci := range a.Cases() {
-				if weights[ci] == 0 {
-					continue
-				}
-				next := &State{
-					m:       append([]Marking(nil), cur.m...),
-					isDirty: make([]bool, len(cur.m)),
-				}
-				a.Fire(&Context{State: next}, ci)
-				p := prob * (a.Weight() / totalW) * (weights[ci] / totalCW)
-				if err := rec(next, p, depth+1); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	base := &State{m: append([]Marking(nil), s.m...), isDirty: make([]bool, len(s.m))}
-	if err := rec(base, 1, 0); err != nil {
-		return nil, err
-	}
-	out := make([]Successor, 0, len(acc))
-	for _, suc := range acc {
-		out = append(out, *suc)
-	}
-	return out, nil
-}

@@ -69,6 +69,20 @@ func StudyModelShapes() []StudyModelShape {
 		}
 	}
 
+	// analytic: the exact-vs-simulated study's small configuration at the
+	// structural corners of its spread sweep (spread=0 gates intra-domain
+	// propagation out). Analytic is on, as in the study, so the linted
+	// shape is the one whose state space the generator explores.
+	for _, spread := range []float64{0, 10} {
+		spread := spread
+		add("analytic", fmtShape("spread=%g", spread), func(p *core.Params) {
+			topo(p, 2, 1, 1, 2)
+			p.CorruptionMult = 5
+			p.DomainSpreadRate = spread
+			p.Analytic = true
+		})
+	}
+
 	// xval: the cross-validation baseline, both policies.
 	for _, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
 		policy := policy

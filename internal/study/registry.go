@@ -18,6 +18,7 @@ var Registry = map[string]Runner{
 	"fig4":          Fig4,
 	"fig5":          Fig5,
 	"fig5-paired":   Fig5Paired,
+	"analytic":      Analytic,
 	"xval":          CrossValidation,
 	"numval":        NumericalValidation,
 	"abl-detect":    AblationDetectionRate,
