@@ -11,9 +11,12 @@
 #   crosscheck   full cross-engine validation (SAN engine vs the
 #                independent direct simulator), heavier than the smoke
 #                variant that runs inside `make test`
+#   livecheck    full live validation (model vs a real fault-injected
+#                replica group, the fourth CrossCheck arm), heavier than
+#                the four-arm smoke variant inside `make test`
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-json bench-mc perf-smoke lint-models fuzz-smoke crosscheck
+.PHONY: ci vet build test race bench bench-json bench-mc perf-smoke lint-models fuzz-smoke crosscheck livecheck
 
 ci: vet build test race
 
@@ -27,7 +30,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/... ./internal/mc/...
+	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/... ./internal/mc/... ./internal/rsm/...
 
 lint-models:
 	$(GO) test ./internal/study -run TestLintRegisteredModels -count=1
@@ -38,9 +41,13 @@ fuzz-smoke:
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzQuantile -fuzztime 10s
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzBatchMeans -fuzztime 10s
 	$(GO) test ./internal/san -run '^$$' -fuzz FuzzMarkingKey -fuzztime 10s
+	$(GO) test ./internal/rsm -run '^$$' -fuzz FuzzWireMsg -fuzztime 10s
 
 crosscheck:
 	CROSSCHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckFull -count=1 -v
+
+livecheck:
+	LIVECHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckLiveFull -count=1 -v -timeout 30m
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim ./internal/mc

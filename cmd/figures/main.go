@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	figures [-reps N] [-seed S] [-precision R] [-paired] [-analytic] [-csv dir] [-checkpoint file] [-resume] [experiment ...]
+//	figures [-reps N] [-seed S] [-precision R] [-paired] [-analytic] [-live] [-csv dir] [-checkpoint file] [-resume] [experiment ...]
 //
 // With no experiment arguments every registered experiment runs. Text
 // tables go to stdout; -csv additionally writes one CSV file per
@@ -28,6 +28,13 @@
 // shows the two series side by side. It is excluded from the default
 // experiment set because each sweep point solves a chain of a few hundred
 // thousand states.
+//
+// -live adds the model-vs-measurement study (experiment id "live"): the
+// same small configuration is evaluated both by simulating the SAN model
+// and by running a real message-passing replica group under the model's
+// attack process (internal/rsm), a synthetic client measuring the service
+// it actually receives. Also excluded from the default set because each
+// sweep point executes thousands of live agreement-protocol runs.
 //
 // Long sweeps are fault tolerant: with -checkpoint, every completed sweep
 // point is persisted atomically, Ctrl-C (SIGINT) or SIGTERM stops the run
@@ -78,6 +85,7 @@ func run() int {
 	maxReps := flag.Int("max-reps", 0, "replication cap per sweep point in precision mode (0 = 16x -reps)")
 	paired := flag.Bool("paired", false, "use the CRN-paired variant of experiments that have one (fig5 -> fig5-paired)")
 	analytic := flag.Bool("analytic", false, "include the analytic study: exact (uniformization) vs simulated measures on a small configuration")
+	live := flag.Bool("live", false, "include the live study: SAN model vs a real fault-injected replica group on a small configuration")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -125,30 +133,35 @@ func run() int {
 	defer stop()
 
 	ids := flag.Args()
+	// The analytic study solves CTMCs of a few hundred thousand states per
+	// sweep point, and the live study runs real protocol executions; each
+	// joins the default set only when its flag is given (either can still be
+	// named explicitly as an argument).
+	optIn := map[string]bool{"analytic": *analytic, "live": *live}
 	if len(ids) == 0 {
 		ids = study.IDs()
-		if !*analytic {
-			// The analytic study solves CTMCs of a few hundred thousand
-			// states per sweep point; it joins the default set only on
-			// request (it can still be named explicitly as an argument).
-			kept := ids[:0]
-			for _, id := range ids {
-				if id != "analytic" {
-					kept = append(kept, id)
+		kept := ids[:0]
+		for _, id := range ids {
+			if on, gated := optIn[id]; !gated || on {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+	} else {
+		for _, id := range []string{"analytic", "live"} {
+			if !optIn[id] {
+				continue
+			}
+			found := false
+			for _, have := range ids {
+				if have == id {
+					found = true
+					break
 				}
 			}
-			ids = kept
-		}
-	} else if *analytic {
-		found := false
-		for _, id := range ids {
-			if id == "analytic" {
-				found = true
-				break
+			if !found {
+				ids = append(ids, id)
 			}
-		}
-		if !found {
-			ids = append(ids, "analytic")
 		}
 	}
 	if *paired {

@@ -17,6 +17,12 @@
 // firing budget, 14 invariant violation, 15 livelock; 0 means the
 // replication completed cleanly.
 //
+// -live additionally runs the live replicated service (internal/rsm): the
+// same attack process is injected into a real message-passing replica group
+// of application 0 and a synthetic client measures the availability and
+// reliability of the service it actually receives, printed next to the
+// model's estimates together with the probe-vs-oracle divergence count.
+//
 // -cpuprofile, -memprofile, and -trace write pprof CPU/heap profiles and a
 // runtime execution trace for the whole run, flushed on every exit path.
 //
@@ -39,7 +45,9 @@ import (
 	"ituaval/internal/integrity"
 	"ituaval/internal/prof"
 	"ituaval/internal/reward"
+	"ituaval/internal/rsm"
 	"ituaval/internal/sim"
+	"ituaval/internal/stats"
 )
 
 // main delegates to run so deferred cleanup — notably flushing the
@@ -65,6 +73,9 @@ func run() int {
 		mult       = flag.Float64("mult", 2, "corruption multiplier for replicas/managers on corrupt hosts")
 		convict    = flag.Bool("exclude-on-conviction", false, "exclude the domain/host on every replica conviction")
 		validate   = flag.Bool("validate", false, "run the engine in dependency-validation mode (slow)")
+
+		live     = flag.Bool("live", false, "also run the live replicated service under fault injection and print its measured availability/reliability next to the model's")
+		liveSims = flag.Int("live-sims", 0, "live replications with -live (0 = -sims)")
 
 		repDeadline = flag.Duration("rep-deadline", 0, "wall-clock watchdog per replication (0 = none)")
 		maxFailFrac = flag.Float64("max-failure-frac", 0, "tolerated fraction of failed replications (0 = default 5%, negative = none)")
@@ -186,6 +197,44 @@ func run() int {
 			fmt.Printf("  rep %-6d %-13s %v\n", f.Rep, f.Kind, &f)
 		}
 		fmt.Printf("reproduce one with: ituaval [same flags] -replay <rep>\n")
+	}
+
+	if *live && !interrupted {
+		// Live arm: the same attack process injected into a real replica
+		// group (application 0), measured by a synthetic client.
+		n := *liveSims
+		if n <= 0 {
+			n = *sims
+		}
+		lres, err := rsm.Run(ctx, rsm.Spec{
+			Params: p, T: T, Reps: n, Seed: *seed + 2,
+			RepDeadline:    *repDeadline,
+			MaxFailureFrac: *maxFailFrac,
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "ituaval: live service interrupted")
+				return 130
+			}
+			fmt.Fprintf(os.Stderr, "ituaval: live service: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nlive replicated service (app 0, %d replications, %d client probes):\n", lres.Reps, lres.Probes)
+		for _, m := range []struct {
+			name string
+			acc  *stats.Accumulator
+		}{
+			{"live unavailability", &lres.Unavail},
+			{"live unreliability (wrong answer certified)", &lres.Unrel},
+			{"live fraction of domains excluded at T", &lres.FracExcl},
+		} {
+			fmt.Printf("  %-50s %10.5f ± %.5f  (n=%d)\n",
+				m.name, m.acc.Mean(), m.acc.HalfWidth(0.95), int64(lres.Reps))
+		}
+		fmt.Printf("  %-50s %10d\n", "probe-vs-model-oracle divergences (expect 0)", lres.Divergences)
+		if lres.Failed > 0 {
+			fmt.Printf("  %d live replication(s) failed: %v\n", lres.Failed, lres.Failures)
+		}
 	}
 	if interrupted {
 		return 130

@@ -264,6 +264,10 @@ func (p Params) Validate() error {
 // NumHosts returns the total host count.
 func (p Params) NumHosts() int { return p.NumDomains * p.HostsPerDomain }
 
+// InitialGroupSize returns the number of replicas each application starts
+// with: RepsPerApp capped by the one-replica-per-domain placement rule.
+func (p Params) InitialGroupSize() int { return min(p.RepsPerApp, p.NumDomains) }
+
 // derived per-entity base rates.
 type rates struct {
 	hostAttack    float64 // per host
@@ -279,7 +283,7 @@ func (p Params) derive() rates {
 	if p.RateBaseHosts > 0 {
 		hosts = float64(p.RateBaseHosts)
 	}
-	replicas := float64(p.NumApps * min(p.RepsPerApp, p.NumDomains))
+	replicas := float64(p.NumApps * p.InitialGroupSize())
 	if p.RateBaseReplicas > 0 {
 		replicas = float64(p.RateBaseReplicas)
 	}

@@ -1,0 +1,143 @@
+package groupcomm
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ituaval/internal/rng"
+)
+
+// Two broadcasts with the same delivery seed must produce byte-identical
+// transcripts (the regression test for the old map-iteration-order leak in
+// Network.Deliver), and a different seed must be able to produce a
+// different interleaving while preserving the protocol outcome.
+func TestBroadcastTranscriptDeterminism(t *testing.T) {
+	mk := func(seed uint64) BroadcastResult {
+		g := Group{
+			N: 7,
+			Faulty: map[ProcessID]Behavior{
+				5: Collude{Value: "evil"},
+				6: RandomLiar{Stream: rng.New(99), Values: []string{"v", "evil"}},
+			},
+			Seed:   seed,
+			Record: true,
+		}
+		return ReliableBroadcast(g, 0, "v")
+	}
+	a, b := mk(42), mk(42)
+	if !reflect.DeepEqual(a.Transcript, b.Transcript) {
+		t.Fatalf("same seed, different transcripts: %d vs %d messages", len(a.Transcript), len(b.Transcript))
+	}
+	if !reflect.DeepEqual(a.Delivered, b.Delivered) || a.Rounds != b.Rounds || a.Steps != b.Steps {
+		t.Fatalf("same seed, different outcomes: %+v vs %+v", a, b)
+	}
+
+	// Across seeds the interleaving may differ but safety must not.
+	c := mk(43)
+	for id, v := range c.Delivered {
+		if v != "v" {
+			t.Fatalf("seed 43: process %d delivered %q", id, v)
+		}
+	}
+	differs := false
+	for _, seed := range []uint64{43, 44, 45, 46} {
+		if !reflect.DeepEqual(mk(seed).Transcript, a.Transcript) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("seeded delivery order never changed the transcript across four seeds")
+	}
+}
+
+// The seeded network must shuffle only the order, never the multiset, of
+// in-flight messages.
+func TestSeededNetworkPreservesMessages(t *testing.T) {
+	canon, seeded := NewNetwork(), NewSeededNetwork(rng.New(7))
+	msgs := []Message{
+		{From: 0, To: 1, Type: MsgInit, Value: "a"},
+		{From: 0, To: 2, Type: MsgInit, Value: "a"},
+		{From: 1, To: 1, Type: MsgEcho, Value: "b"},
+		{From: 2, To: 1, Type: MsgReady, Value: "c"},
+	}
+	for _, m := range msgs {
+		canon.Send(m)
+		seeded.Send(m)
+	}
+	count := func(ds []Delivery) map[Message]int {
+		out := map[Message]int{}
+		for _, d := range ds {
+			for _, m := range d.Msgs {
+				out[m]++
+			}
+		}
+		return out
+	}
+	a, b := count(canon.Deliver()), count(seeded.Deliver())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seeded delivery changed the message multiset: %v vs %v", a, b)
+	}
+	if !canon.Quiet() || !seeded.Quiet() {
+		t.Fatal("Deliver left messages in flight")
+	}
+}
+
+// A behavior that floods the network forever must terminate with a
+// classified budget result instead of spinning (satellite: round/step
+// budget with PR-1-style error taxonomy).
+type floodBehavior struct{}
+
+func (floodBehavior) Act(self ProcessID, group []ProcessID, round int, _ []Message) []Message {
+	var out []Message
+	for _, to := range group {
+		out = append(out, Message{To: to, Type: MsgEcho, Value: "flood"})
+	}
+	return out
+}
+
+func TestBroadcastBudgetClassified(t *testing.T) {
+	// Round budget: the flood keeps the network non-quiet past MaxRounds.
+	g := Group{N: 4, Faulty: map[ProcessID]Behavior{3: floodBehavior{}}, MaxRounds: 5}
+	res := ReliableBroadcast(g, 0, "v")
+	if res.Outcome != OutcomeRoundBudget {
+		t.Fatalf("outcome = %v, want %v", res.Outcome, OutcomeRoundBudget)
+	}
+	var te *TimeoutError
+	if !errors.As(res.Err, &te) || te.Outcome != OutcomeRoundBudget {
+		t.Fatalf("expected a classified *TimeoutError, got %v", res.Err)
+	}
+	// The honest broadcast still delivered before the budget hit.
+	if got := len(res.Delivered); got != 3 {
+		t.Fatalf("flood prevented honest delivery: %d of 3 delivered", got)
+	}
+
+	// Step budget: a tiny MaxSteps trips mid-round.
+	g = Group{N: 4, Faulty: map[ProcessID]Behavior{3: floodBehavior{}}, MaxRounds: 50, MaxSteps: 3}
+	res = ReliableBroadcast(g, 0, "v")
+	if res.Outcome != OutcomeStepBudget {
+		t.Fatalf("outcome = %v, want %v", res.Outcome, OutcomeStepBudget)
+	}
+	// Steps counts the message that tripped the budget.
+	if !errors.As(res.Err, &te) || te.Outcome != OutcomeStepBudget || te.Steps <= 3 {
+		t.Fatalf("expected a classified step-budget error, got %v", res.Err)
+	}
+
+	// A clean run stays quiescent with a nil error.
+	res = ReliableBroadcast(Group{N: 4}, 0, "v")
+	if res.Outcome != OutcomeQuiescent || res.Err != nil {
+		t.Fatalf("clean run misclassified: outcome %v err %v", res.Outcome, res.Err)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OutcomeQuiescent.String() != "quiescent" ||
+		OutcomeRoundBudget.String() != "round-budget" ||
+		OutcomeStepBudget.String() != "step-budget" {
+		t.Fatal("outcome names")
+	}
+	if Outcome(9).String() == "" {
+		t.Fatal("unknown outcome formatting")
+	}
+}

@@ -9,6 +9,11 @@
 // broadcast and a conviction-vote primitive, running over a simulated
 // message network with adversarial (Byzantine) members, together with tests
 // that demonstrate the properties hold exactly when f < n/3.
+//
+// The Bracha state machine (Bracha, Step) is exported so the live
+// replicated state machine in internal/rsm can run the identical protocol
+// over its own transport; ReliableBroadcast remains the reference
+// round-based runner.
 package groupcomm
 
 import (
@@ -63,37 +68,86 @@ type Behavior interface {
 	Act(self ProcessID, group []ProcessID, round int, received []Message) []Message
 }
 
+// MaxTolerance returns the largest fault bound f a group of n members can
+// be configured for while keeping n > 3f — the paper's one-third threshold.
+// It is zero for n <= 3: such groups tolerate no Byzantine member.
+func MaxTolerance(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n+2)/3 - 1
+}
+
 // Network simulates reliable authenticated point-to-point channels with
 // round-based delivery: messages sent in round r arrive in round r+1.
 // Reliability (no loss between correct processes) matches the paper's
 // timed-asynchronous model after timeout handling.
 type Network struct {
 	pending []Message
+	order   *rng.Stream
 }
 
-// NewNetwork creates an empty network.
+// NewNetwork creates an empty network delivering in canonical (send) order.
 func NewNetwork() *Network { return &Network{} }
+
+// NewSeededNetwork creates a network whose per-round delivery order is a
+// uniform shuffle drawn from s. The shuffle is the only nondeterminism in a
+// broadcast run, so two runs over networks seeded identically produce
+// identical transcripts (see TestBroadcastTranscriptDeterminism).
+func NewSeededNetwork(s *rng.Stream) *Network { return &Network{order: s} }
 
 // Send queues m for delivery next round. The From field is trusted by the
 // caller (the runner enforces authenticity for Byzantine members).
 func (n *Network) Send(m Message) { n.pending = append(n.pending, m) }
 
-// Deliver moves pending messages into inboxes and returns each process's
-// batch for the new round.
-func (n *Network) Deliver() map[ProcessID][]Message {
-	out := make(map[ProcessID][]Message)
+// Delivery is one process's inbox for a round, messages in delivery order.
+type Delivery struct {
+	To   ProcessID
+	Msgs []Message
+}
+
+// Deliver drains the in-flight messages and returns each non-empty inbox,
+// inboxes in ascending process order and messages within an inbox in
+// delivery order: the global send order by default, or a seeded uniform
+// shuffle for a network built with NewSeededNetwork. Earlier versions
+// returned a map, whose iteration order could leak into the replica step
+// order; the explicit ordering makes every run deterministic — and, when
+// seeded, reproducibly randomized.
+func (n *Network) Deliver() []Delivery {
+	if n.order != nil && len(n.pending) > 1 {
+		perm := make([]int, len(n.pending))
+		n.order.Perm(perm)
+		shuffled := make([]Message, len(n.pending))
+		for i, j := range perm {
+			shuffled[i] = n.pending[j]
+		}
+		n.pending = shuffled
+	}
+	inbox := make(map[ProcessID][]Message)
+	var ids []ProcessID
 	for _, m := range n.pending {
-		out[m.To] = append(out[m.To], m)
+		if _, seen := inbox[m.To]; !seen {
+			ids = append(ids, m.To)
+		}
+		inbox[m.To] = append(inbox[m.To], m)
 	}
 	n.pending = n.pending[:0]
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Delivery, len(ids))
+	for i, id := range ids {
+		out[i] = Delivery{To: id, Msgs: inbox[id]}
+	}
 	return out
 }
 
 // Quiet reports whether no messages are in flight.
 func (n *Network) Quiet() bool { return len(n.pending) == 0 }
 
-// bracha is the per-process state of Bracha's reliable broadcast.
-type bracha struct {
+// Bracha is the per-process state machine of Bracha's reliable broadcast,
+// usable over any message layer: feed every received protocol message to
+// Step and multicast whatever it returns. The zero value is not usable;
+// construct instances with NewBracha.
+type Bracha struct {
 	self      ProcessID
 	n, f      int
 	sentEcho  bool
@@ -104,17 +158,24 @@ type bracha struct {
 	readies   map[string]map[ProcessID]bool
 }
 
-func newBracha(self ProcessID, n, f int) *bracha {
-	return &bracha{
+// NewBracha returns the protocol state of process self in a group of n
+// members configured to tolerate f Byzantine members.
+func NewBracha(self ProcessID, n, f int) *Bracha {
+	return &Bracha{
 		self: self, n: n, f: f,
 		echoes:  make(map[string]map[ProcessID]bool),
 		readies: make(map[string]map[ProcessID]bool),
 	}
 }
 
-// step consumes one received message and returns the messages to multicast
-// (one per group member is produced by the runner).
-func (b *bracha) step(m Message, sender ProcessID) (broadcast []Message) {
+// Delivered reports the value this process delivered, if any.
+func (b *Bracha) Delivered() (string, bool) { return b.value, b.delivered }
+
+// Step consumes one received message and returns the messages to multicast
+// (one copy per group member is produced by the caller; the returned
+// messages carry no To). sender is the designated broadcast originator:
+// only its INIT counts, which is the authentication assumption.
+func (b *Bracha) Step(m Message, sender ProcessID) (broadcast []Message) {
 	record := func(set map[string]map[ProcessID]bool, v string, from ProcessID) int {
 		if set[v] == nil {
 			set[v] = make(map[ProcessID]bool)
@@ -155,6 +216,51 @@ func (b *bracha) step(m Message, sender ProcessID) (broadcast []Message) {
 	return broadcast
 }
 
+// Outcome classifies how a broadcast run ended.
+type Outcome int
+
+const (
+	// OutcomeQuiescent: the protocol reached a fixed point with no
+	// messages in flight — the normal termination of a broadcast, whether
+	// or not anything was delivered.
+	OutcomeQuiescent Outcome = iota
+	// OutcomeRoundBudget: MaxRounds elapsed with messages still in
+	// flight. Byzantine behaviors that inject messages forever land here
+	// instead of livelocking the runner.
+	OutcomeRoundBudget
+	// OutcomeStepBudget: the total protocol-step budget (MaxSteps) was
+	// exhausted mid-round — the adversarial message volume exceeded any
+	// honest execution's need.
+	OutcomeStepBudget
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeQuiescent:
+		return "quiescent"
+	case OutcomeRoundBudget:
+		return "round-budget"
+	case OutcomeStepBudget:
+		return "step-budget"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// TimeoutError is the classified result of a broadcast that exhausted its
+// round or step budget, mirroring the budget-exhaustion taxonomy of the
+// simulation runner (sim.FailureBudget): bounded, recorded, never spinning.
+type TimeoutError struct {
+	Outcome Outcome
+	Rounds  int
+	Steps   int
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("groupcomm: broadcast exceeded its %s (%d rounds, %d steps)",
+		e.Outcome, e.Rounds, e.Steps)
+}
+
 // BroadcastResult reports the outcome of one reliable broadcast.
 type BroadcastResult struct {
 	// Delivered maps every correct process to the value it delivered;
@@ -162,6 +268,18 @@ type BroadcastResult struct {
 	Delivered map[ProcessID]string
 	// Rounds is the number of simulated rounds executed.
 	Rounds int
+	// Steps is the number of protocol messages processed by correct
+	// processes.
+	Steps int
+	// Outcome classifies the termination; Err is non-nil (a *TimeoutError)
+	// for the budget outcomes. Delivered stays valid either way: budget
+	// exhaustion truncates the run but does not un-deliver.
+	Outcome Outcome
+	Err     error
+	// Transcript is the delivery-ordered list of every message handed to a
+	// correct process, recorded when Group.Record is set. Two runs with the
+	// same Group.Seed produce identical transcripts.
+	Transcript []Message
 }
 
 // Group describes one reliable-broadcast experiment.
@@ -178,6 +296,18 @@ type Group struct {
 	Tolerance int
 	// MaxRounds bounds the simulation (default 50).
 	MaxRounds int
+	// MaxSteps bounds the total number of protocol messages processed by
+	// correct processes across the whole run (default 8·N²·MaxRounds —
+	// far above any honest execution). Exhausting it classifies the run
+	// as OutcomeStepBudget instead of spinning through adversarial
+	// message floods.
+	MaxSteps int
+	// Seed, when non-zero, seeds the per-round delivery order (a uniform
+	// shuffle); zero keeps the canonical send order. Either way the run
+	// is fully deterministic.
+	Seed uint64
+	// Record captures the delivery transcript in the result.
+	Record bool
 }
 
 // members returns all process ids.
@@ -199,20 +329,31 @@ func (g Group) f() int {
 
 // ReliableBroadcast runs Bracha's protocol with the given sender and value.
 // If the sender is Byzantine its behavior script speaks first (it may
-// equivocate); a correct sender multicasts INIT(value).
+// equivocate); a correct sender multicasts INIT(value). The run is bounded
+// by the group's round and step budgets; exceeding either yields a
+// classified TimeoutError in the result rather than an unbounded loop.
 func ReliableBroadcast(g Group, sender ProcessID, value string) BroadcastResult {
 	if g.MaxRounds <= 0 {
 		g.MaxRounds = 50
 	}
+	if g.MaxSteps <= 0 {
+		g.MaxSteps = 8 * g.N * g.N * g.MaxRounds
+	}
 	net := NewNetwork()
+	if g.Seed != 0 {
+		net = NewSeededNetwork(rng.New(g.Seed))
+	}
 	group := g.members()
-	states := make(map[ProcessID]*bracha)
+	states := make(map[ProcessID]*Bracha)
 	for _, id := range group {
 		if _, bad := g.Faulty[id]; !bad {
-			states[id] = newBracha(id, g.N, g.f())
+			states[id] = NewBracha(id, g.N, g.f())
 		}
 	}
 	received := make(map[ProcessID][]Message)
+
+	var res BroadcastResult
+	res.Delivered = make(map[ProcessID]string)
 
 	// Round 0: the sender speaks.
 	if _, bad := g.Faulty[sender]; !bad {
@@ -221,17 +362,20 @@ func ReliableBroadcast(g Group, sender ProcessID, value string) BroadcastResult 
 		}
 	}
 
-	rounds := 0
+	// Byzantine ids in stable order, so behaviors drawing random numbers
+	// stay reproducible.
+	faultyIDs := make([]ProcessID, 0, len(g.Faulty))
+	for id := range g.Faulty {
+		faultyIDs = append(faultyIDs, id)
+	}
+	sort.Slice(faultyIDs, func(i, j int) bool { return faultyIDs[i] < faultyIDs[j] })
+
+	rounds, steps := 0, 0
+	quiesced := false
+loop:
 	for ; rounds < g.MaxRounds; rounds++ {
 		// Byzantine members act on what they received last round (the
 		// sender's script also runs in round 0 so it can equivocate).
-		// Sorted iteration keeps runs reproducible when behaviors draw
-		// random numbers.
-		faultyIDs := make([]ProcessID, 0, len(g.Faulty))
-		for id := range g.Faulty {
-			faultyIDs = append(faultyIDs, id)
-		}
-		sort.Slice(faultyIDs, func(i, j int) bool { return faultyIDs[i] < faultyIDs[j] })
 		for _, id := range faultyIDs {
 			for _, m := range g.Faulty[id].Act(id, group, rounds, received[id]) {
 				m.From = id // authentication: cannot forge the sender
@@ -239,28 +383,30 @@ func ReliableBroadcast(g Group, sender ProcessID, value string) BroadcastResult 
 			}
 		}
 		if net.Quiet() {
+			quiesced = true
 			break
 		}
-		received = net.Deliver()
-		// Correct processes handle their batches deterministically
-		// (sorted) so runs are reproducible.
-		for _, id := range group {
-			st, ok := states[id]
-			if !ok {
-				continue
-			}
-			batch := received[id]
-			sort.Slice(batch, func(i, j int) bool {
-				if batch[i].From != batch[j].From {
-					return batch[i].From < batch[j].From
+		for id := range received {
+			received[id] = received[id][:0]
+		}
+		// Process every inbox in delivery order: canonical or seeded, but
+		// never dependent on map iteration.
+		for _, d := range net.Deliver() {
+			st, correct := states[d.To]
+			for _, m := range d.Msgs {
+				received[d.To] = append(received[d.To], m)
+				if !correct {
+					continue
 				}
-				if batch[i].Type != batch[j].Type {
-					return batch[i].Type < batch[j].Type
+				if steps++; steps > g.MaxSteps {
+					res.Outcome = OutcomeStepBudget
+					res.Err = &TimeoutError{Outcome: OutcomeStepBudget, Rounds: rounds, Steps: steps}
+					break loop
 				}
-				return batch[i].Value < batch[j].Value
-			})
-			for _, m := range batch {
-				for _, out := range st.step(m, sender) {
+				if g.Record {
+					res.Transcript = append(res.Transcript, m)
+				}
+				for _, out := range st.Step(m, sender) {
 					for _, to := range group {
 						out.To = to
 						net.Send(out)
@@ -269,11 +415,14 @@ func ReliableBroadcast(g Group, sender ProcessID, value string) BroadcastResult 
 			}
 		}
 	}
-
-	res := BroadcastResult{Delivered: make(map[ProcessID]string), Rounds: rounds}
+	if !quiesced && res.Err == nil {
+		res.Outcome = OutcomeRoundBudget
+		res.Err = &TimeoutError{Outcome: OutcomeRoundBudget, Rounds: rounds, Steps: steps}
+	}
+	res.Rounds, res.Steps = rounds, steps
 	for id, st := range states {
-		if st.delivered {
-			res.Delivered[id] = st.value
+		if v, ok := st.Delivered(); ok {
+			res.Delivered[id] = v
 		}
 	}
 	return res
@@ -281,11 +430,22 @@ func ReliableBroadcast(g Group, sender ProcessID, value string) BroadcastResult 
 
 // --- Byzantine behavior library -------------------------------------------
 
+// Responder is an optional Behavior extension consulted by the live
+// replicated state machine (internal/rsm) for a Byzantine replica's answer
+// to a client request — distinct from the agreement messages the behavior
+// injects. ok = false means the member stays silent (a crashed replica).
+type Responder interface {
+	Respond(probe uint64) (value string, ok bool)
+}
+
 // Silent is a crashed/muted Byzantine member.
 type Silent struct{}
 
 // Act implements Behavior.
 func (Silent) Act(ProcessID, []ProcessID, int, []Message) []Message { return nil }
+
+// Respond implements Responder: a silent member never answers.
+func (Silent) Respond(uint64) (string, bool) { return "", false }
 
 // EquivocatingSender sends INIT(A) to half the group and INIT(B) to the
 // other half in round 0, then echoes both values to everyone.
@@ -318,6 +478,15 @@ func (e EquivocatingSender) Act(self ProcessID, group []ProcessID, round int, _ 
 	return out
 }
 
+// Respond implements Responder: the equivocator answers with A or B by probe
+// parity, so different clients (or retries) can see different lies.
+func (e EquivocatingSender) Respond(probe uint64) (string, bool) {
+	if probe%2 == 1 {
+		return e.B, true
+	}
+	return e.A, true
+}
+
 // RandomLiar injects random echoes and readies for adversarially chosen
 // values for a few rounds.
 type RandomLiar struct {
@@ -342,7 +511,19 @@ func (r RandomLiar) Act(self ProcessID, group []ProcessID, round int, _ []Messag
 	return out
 }
 
+// Respond implements Responder: a random value from the repertoire.
+func (r RandomLiar) Respond(uint64) (string, bool) {
+	if len(r.Values) == 0 {
+		return "", false
+	}
+	return r.Values[r.Stream.Intn(len(r.Values))], true
+}
+
 // Collude makes every faulty member echo/ready a single adversarial value.
+// It is the worst-case adversary of the repertoire: once the colluders
+// reach f+1 members, Bracha's READY amplification lets them drag every
+// correct process into delivering the forged value — exactly the paper's
+// "group becomes unable to reach consensus" threshold, realized.
 type Collude struct{ Value string }
 
 // Act implements Behavior.
@@ -357,3 +538,6 @@ func (c Collude) Act(self ProcessID, group []ProcessID, round int, _ []Message) 
 	}
 	return out
 }
+
+// Respond implements Responder: always the colluded value.
+func (c Collude) Respond(uint64) (string, bool) { return c.Value, true }

@@ -1,0 +1,144 @@
+package groupcomm
+
+import (
+	"fmt"
+	"testing"
+
+	"ituaval/internal/rng"
+)
+
+// colludeGroup builds a group of n members whose top `bad` ids collude.
+func colludeGroup(n, bad, tolerance int) Group {
+	faulty := map[ProcessID]Behavior{}
+	for i := 0; i < bad; i++ {
+		faulty[ProcessID(n-1-i)] = Collude{Value: "forged"}
+	}
+	return Group{N: n, Faulty: faulty, Tolerance: tolerance}
+}
+
+// liarGroup is colludeGroup with RandomLiar behaviors (true value included
+// in the lie repertoire, the harder case for safety).
+func liarGroup(n, bad, tolerance int, stream *rng.Stream, trial int) Group {
+	faulty := map[ProcessID]Behavior{}
+	for i := 0; i < bad; i++ {
+		faulty[ProcessID(n-1-i)] = RandomLiar{
+			Stream: stream.Derive(uint64(trial*100 + i)),
+			Values: []string{"v", "evil", "x"},
+		}
+	}
+	return Group{N: n, Faulty: faulty, Tolerance: tolerance}
+}
+
+// At n = 3f+1 (exactly the one-third threshold) a group configured for f
+// must keep validity, agreement, and totality against f colluders or
+// random liars. At n = 3f (one member short: f faulty members are a full
+// third) the degradation is predictable: colluders can never assemble an
+// echo quorum (2c > n+f = 4f needs c > 2f while only f members push the
+// forged value) nor a ready amplification (needs > f readies), so nothing
+// is delivered; liars can at worst help the true value along — any
+// delivery is the sender's value, and no forged value ever appears.
+func TestColludeBoundaryGroupSizes(t *testing.T) {
+	for _, f := range []int{1, 2, 3} {
+		// n = 3f+1: agreement holds exactly at the threshold.
+		n := 3*f + 1
+		g := colludeGroup(n, f, f)
+		res := ReliableBroadcast(g, 0, "v")
+		ctx := fmt.Sprintf("collude n=%d f=%d", n, f)
+		checkAgreementTotality(t, g, res, ctx)
+		if len(res.Delivered) != n-f {
+			t.Fatalf("%s: validity violated: %d of %d correct delivered", ctx, len(res.Delivered), n-f)
+		}
+		for id, v := range res.Delivered {
+			if v != "v" {
+				t.Fatalf("%s: process %d delivered %q", ctx, id, v)
+			}
+		}
+
+		// n = 3f: the same f colluders are now >= a third — guaranteed
+		// stall, never a forged delivery.
+		n = 3 * f
+		g = colludeGroup(n, f, f)
+		res = ReliableBroadcast(g, 0, "v")
+		ctx = fmt.Sprintf("collude n=%d f=%d", n, f)
+		if len(res.Delivered) != 0 {
+			t.Fatalf("%s: expected a guaranteed stall, delivered %v", ctx, res.Delivered)
+		}
+	}
+}
+
+func TestRandomLiarBoundaryGroupSizes(t *testing.T) {
+	stream := rng.New(1234)
+	for _, f := range []int{1, 2, 3} {
+		for trial := 0; trial < 20; trial++ {
+			// n = 3f+1: full validity and totality against liars.
+			n := 3*f + 1
+			g := liarGroup(n, f, f, stream, trial)
+			res := ReliableBroadcast(g, 0, "v")
+			ctx := fmt.Sprintf("liar n=%d f=%d trial=%d", n, f, trial)
+			if len(res.Delivered) != n-f {
+				t.Fatalf("%s: %d of %d correct delivered", ctx, len(res.Delivered), n-f)
+			}
+			checkAgreementTotality(t, g, res, ctx)
+			for id, v := range res.Delivered {
+				if v != "v" {
+					t.Fatalf("%s: process %d delivered %q", ctx, id, v)
+				}
+			}
+
+			// n = 3f: partial delivery is allowed (totality needs f < n/3)
+			// but any delivered value must be the sender's — liars cannot
+			// push a forged value past the 2f+1 ready quorum.
+			n = 3 * f
+			g = liarGroup(n, f, f, stream, 1000+trial)
+			res = ReliableBroadcast(g, 0, "v")
+			ctx = fmt.Sprintf("liar n=%d f=%d trial=%d", n, f, trial)
+			for id, v := range res.Delivered {
+				if v != "v" {
+					t.Fatalf("%s: forged delivery: process %d delivered %q", ctx, id, v)
+				}
+			}
+		}
+	}
+}
+
+// One past the threshold (f+1 colluders against a tolerance-f group of
+// n = 3f+1) the failure is equally predictable: READY amplification (join
+// at > f matching readies) cascades through every correct process, so the
+// whole group delivers the forged value — validity is lost wholesale, the
+// regime the paper's unreliability measure charges as a Byzantine failure.
+func TestColludeOnePastThresholdForcesForgedDelivery(t *testing.T) {
+	for _, f := range []int{1, 2, 3} {
+		n := 3*f + 1
+		g := colludeGroup(n, f+1, f)
+		res := ReliableBroadcast(g, 0, "v")
+		ctx := fmt.Sprintf("collude n=%d f=%d bad=%d", n, f, f+1)
+		correct := n - (f + 1)
+		if len(res.Delivered) != correct {
+			t.Fatalf("%s: %d of %d correct delivered", ctx, len(res.Delivered), correct)
+		}
+		for id, v := range res.Delivered {
+			if v != "forged" {
+				t.Fatalf("%s: process %d delivered %q, want the forged value", ctx, id, v)
+			}
+		}
+	}
+}
+
+func TestMaxTolerance(t *testing.T) {
+	for _, tc := range []struct{ n, f int }{
+		{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 1}, {6, 1}, {7, 2}, {9, 2}, {10, 3}, {13, 4},
+	} {
+		if got := MaxTolerance(tc.n); got != tc.f {
+			t.Errorf("MaxTolerance(%d) = %d, want %d", tc.n, got, tc.f)
+		}
+		if tc.n > 0 {
+			f := MaxTolerance(tc.n)
+			if tc.n <= 3*f {
+				t.Errorf("MaxTolerance(%d) = %d violates n > 3f", tc.n, f)
+			}
+			if tc.n > 3*(f+1) {
+				t.Errorf("MaxTolerance(%d) = %d is not maximal", tc.n, f)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"ituaval/internal/mc"
 	"ituaval/internal/reward"
 	"ituaval/internal/rng"
+	"ituaval/internal/rsm"
 	"ituaval/internal/sim"
 	"ituaval/internal/stats"
 )
@@ -29,6 +30,16 @@ type CrossCheckOptions struct {
 	Seed uint64
 	// Workers bounds SAN-engine parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Live, when true, adds the live arm: the measures estimated on a real
+	// message-passing replica group (internal/rsm) subjected to the model's
+	// attack process by fault injection, with seed Seed+2. Live probes are
+	// also checked event-wise against the model oracle; the divergence count
+	// is reported.
+	Live bool
+	// LiveReps is the number of live replications (0 = Reps). Live
+	// replications carry a real protocol execution per injected event and
+	// cost more than a model replication; lower this for smoke runs.
+	LiveReps int
 	// Exact, when true, adds a third arm: the same measures computed
 	// numerically (state-space generation + uniformization, internal/exact)
 	// with no sampling error. Both simulators' confidence intervals are
@@ -66,6 +77,11 @@ type MeasureAgreement struct {
 	// HasExact is set (CrossCheckOptions.Exact ran).
 	Exact    float64
 	HasExact bool
+	// LiveMean/LiveHalf estimate the measure on the live replicated service
+	// (internal/rsm); valid only when HasLive is set.
+	LiveMean float64
+	LiveHalf float64
+	HasLive  bool
 }
 
 // Overlaps reports whether the two 95% confidence intervals intersect —
@@ -75,27 +91,47 @@ func (a MeasureAgreement) Overlaps() bool {
 	return math.Abs(a.SANMean-a.DirectMean) <= a.SANHalf+a.DirectHalf
 }
 
+// LiveOverlaps reports whether the live arm's 95% interval intersects both
+// model engines' intervals — the live-validation criterion: the empirical
+// measures of the real replicated service estimate the same quantities the
+// model predicts. With no live arm it is vacuously true.
+func (a MeasureAgreement) LiveOverlaps() bool {
+	if !a.HasLive {
+		return true
+	}
+	return math.Abs(a.LiveMean-a.SANMean) <= a.LiveHalf+a.SANHalf &&
+		math.Abs(a.LiveMean-a.DirectMean) <= a.LiveHalf+a.DirectHalf
+}
+
 // ExactCovered reports whether the exact value lies within the union of
-// the two engines' 95% intervals. With no exact arm it is vacuously true.
-// Each interval individually misses the true value 5% of the time, so the
-// union — miss probability well under 5% per measure — is the right
-// absolute criterion for an automated gate.
+// the sampled arms' 95% intervals (both engines, plus the live arm when it
+// ran). With no exact arm it is vacuously true. Each interval individually
+// misses the true value 5% of the time, so the union — miss probability
+// well under 5% per measure — is the right absolute criterion for an
+// automated gate.
 func (a MeasureAgreement) ExactCovered() bool {
 	if !a.HasExact {
 		return true
 	}
 	lo := math.Min(a.SANMean-a.SANHalf, a.DirectMean-a.DirectHalf)
 	hi := math.Max(a.SANMean+a.SANHalf, a.DirectMean+a.DirectHalf)
+	if a.HasLive {
+		lo = math.Min(lo, a.LiveMean-a.LiveHalf)
+		hi = math.Max(hi, a.LiveMean+a.LiveHalf)
+	}
 	return a.Exact >= lo && a.Exact <= hi
 }
 
 func (a MeasureAgreement) String() string {
 	verdict := "agree"
-	if !a.Overlaps() || !a.ExactCovered() {
+	if !a.Overlaps() || !a.LiveOverlaps() || !a.ExactCovered() {
 		verdict = "DISAGREE"
 	}
 	s := fmt.Sprintf("%s: SAN %.4g ± %.2g vs direct %.4g ± %.2g",
 		a.Name, a.SANMean, a.SANHalf, a.DirectMean, a.DirectHalf)
+	if a.HasLive {
+		s += fmt.Sprintf(" vs live %.4g ± %.2g", a.LiveMean, a.LiveHalf)
+	}
 	if a.HasExact {
 		s += fmt.Sprintf(" vs exact %.4g", a.Exact)
 	}
@@ -107,13 +143,20 @@ type CrossCheckReport struct {
 	Policy   core.Policy
 	Reps     int
 	Measures []MeasureAgreement
+	// LiveProbes/LiveDivergences report the live arm's event-wise check:
+	// client probes issued against the live service, and how many of them
+	// disagreed with the model oracle's improper-service predicate (zero
+	// under the default worst-case adversary).
+	LiveProbes      int64
+	LiveDivergences int64
 }
 
-// Agree reports whether every measure's confidence intervals overlap and,
-// when the exact arm ran, every exact value is covered (ExactCovered).
+// Agree reports whether every measure's confidence intervals overlap (the
+// live arm's against both engines', when it ran) and, when the exact arm
+// ran, every exact value is covered (ExactCovered).
 func (r *CrossCheckReport) Agree() bool {
 	for _, m := range r.Measures {
-		if !m.Overlaps() || !m.ExactCovered() {
+		if !m.Overlaps() || !m.LiveOverlaps() || !m.ExactCovered() {
 			return false
 		}
 	}
@@ -121,10 +164,13 @@ func (r *CrossCheckReport) Agree() bool {
 }
 
 func (r *CrossCheckReport) String() string {
-	lines := make([]string, 0, len(r.Measures)+1)
+	lines := make([]string, 0, len(r.Measures)+2)
 	lines = append(lines, fmt.Sprintf("cross-check %s (%d reps/engine):", r.Policy, r.Reps))
 	for _, m := range r.Measures {
 		lines = append(lines, "  "+m.String())
+	}
+	if r.LiveProbes > 0 {
+		lines = append(lines, fmt.Sprintf("  live probes %d, oracle divergences %d", r.LiveProbes, r.LiveDivergences))
 	}
 	return strings.Join(lines, "\n")
 }
@@ -142,6 +188,9 @@ func (r *CrossCheckReport) String() string {
 // rather than as a silent skew. With Options.Exact set a third arm — the
 // uniformization solution of the generated CTMC — anchors both sampled
 // estimates to the numerically exact values (small configurations only).
+// With Options.Live set a fourth arm runs the attack process against a real
+// message-passing replica group (internal/rsm) and checks that the measured
+// service — not a model of it — lands in the same confidence region.
 func CrossCheck(ctx context.Context, p core.Params, o CrossCheckOptions) (*CrossCheckReport, error) {
 	o.fill()
 	m, err := core.Build(p)
@@ -186,6 +235,29 @@ func CrossCheck(ctx context.Context, p core.Params, o CrossCheckOptions) (*Cross
 		excl.Add(dr.FracDomainsExcluded[0])
 	}
 
+	// Optional live arm: the same measures observed on a real replica group
+	// under fault injection. The injector replays the model's stochastic law
+	// against live Bracha-broadcast replicas, so the client's empirical
+	// unavailability/unreliability estimate the same quantities — and every
+	// probe is additionally checked against the model oracle event-wise.
+	var liveRes *rsm.Result
+	if o.Live {
+		liveReps := o.LiveReps
+		if liveReps <= 0 {
+			liveReps = o.Reps
+		}
+		liveRes, err = rsm.Run(ctx, rsm.Spec{
+			Params:  p,
+			T:       T,
+			Reps:    liveReps,
+			Seed:    o.Seed + 2,
+			Workers: o.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("integrity: live arm: %w", err)
+		}
+	}
+
 	// Optional third arm: the numerically exact values. Saturating the
 	// intrusions counter (Params.Analytic, forced by exact.NewSolver) does
 	// not change any observable, so the exact chain solves the same model
@@ -215,6 +287,16 @@ func CrossCheck(ctx context.Context, p core.Params, o CrossCheckOptions) (*Cross
 	}
 
 	report := &CrossCheckReport{Policy: p.Policy, Reps: o.Reps}
+	var liveAccs map[string]*stats.Accumulator
+	if liveRes != nil {
+		report.LiveProbes = liveRes.Probes
+		report.LiveDivergences = liveRes.Divergences
+		liveAccs = map[string]*stats.Accumulator{
+			"unavail": &liveRes.Unavail,
+			"unrel":   &liveRes.Unrel,
+			"excl":    &liveRes.FracExcl,
+		}
+	}
 	for _, c := range []struct {
 		name string
 		acc  *stats.Accumulator
@@ -228,6 +310,10 @@ func CrossCheck(ctx context.Context, p core.Params, o CrossCheckOptions) (*Cross
 			SANHalf:    est.HalfWidth95,
 			DirectMean: c.acc.Mean(),
 			DirectHalf: c.acc.HalfWidth(0.95),
+		}
+		if liveAccs != nil {
+			la := liveAccs[c.name]
+			ma.LiveMean, ma.LiveHalf, ma.HasLive = la.Mean(), la.HalfWidth(0.95), true
 		}
 		if exactVals != nil {
 			ma.Exact, ma.HasExact = exactVals[c.name], true

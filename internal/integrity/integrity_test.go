@@ -206,3 +206,64 @@ func TestCrossCheckFull(t *testing.T) {
 		}
 	}
 }
+
+// TestCrossCheckLive runs the four-arm variant on the exact-tractable
+// configuration: the live replicated service's 95% intervals must overlap
+// both model engines' and the union of all three sampled intervals must
+// cover the uniformization values. The live probes are also checked
+// event-wise against the model oracle — zero divergences under the default
+// worst-case adversary.
+func TestCrossCheckLive(t *testing.T) {
+	p := core.DefaultParams()
+	p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp = 2, 1, 1, 2
+	report, err := CrossCheck(context.Background(), p, CrossCheckOptions{
+		Reps: 300, LiveReps: 120, Seed: 23, Live: true, Exact: true, ExactMaxStates: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", report)
+	for _, m := range report.Measures {
+		if !m.HasLive || !m.HasExact {
+			t.Fatalf("%s: live=%v exact=%v, want both arms", m.Name, m.HasLive, m.HasExact)
+		}
+	}
+	if report.LiveProbes == 0 {
+		t.Fatal("live arm issued no probes")
+	}
+	if report.LiveDivergences != 0 {
+		t.Errorf("%d of %d live probes diverged from the model oracle", report.LiveDivergences, report.LiveProbes)
+	}
+	if !report.Agree() {
+		t.Errorf("four-arm cross-check disagrees:\n%s", report)
+	}
+}
+
+// TestCrossCheckLiveFull is the heavyweight live validation behind
+// `make livecheck`: more replications, both policies, and a larger topology
+// (without the exact arm, which the larger state space rules out). Gated on
+// LIVECHECK_FULL=1 so the ordinary test lane stays fast.
+func TestCrossCheckLiveFull(t *testing.T) {
+	if os.Getenv("LIVECHECK_FULL") == "" {
+		t.Skip("set LIVECHECK_FULL=1 to run the full live validation")
+	}
+	for _, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
+		p := core.DefaultParams()
+		p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp = 4, 2, 1, 4
+		p.Policy = policy
+		report, err := CrossCheck(context.Background(), p, CrossCheckOptions{
+			Reps: 2000, LiveReps: 1500, Seed: 31, Live: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		t.Logf("\n%s", report)
+		if report.LiveDivergences != 0 {
+			t.Errorf("%s: %d of %d live probes diverged from the model oracle",
+				policy, report.LiveDivergences, report.LiveProbes)
+		}
+		if !report.Agree() {
+			t.Errorf("%s: live arm disagrees with the model:\n%s", policy, report)
+		}
+	}
+}

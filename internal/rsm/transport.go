@@ -1,0 +1,187 @@
+package rsm
+
+import (
+	"container/heap"
+
+	"ituaval/internal/rng"
+)
+
+// NodeID addresses one endpoint on the transport: a replica slot, or
+// ClientID for the measuring client.
+type NodeID int32
+
+// ClientID is the synthetic client's address. It lives on no host, so host
+// exclusion and partitions never cut it off — the client models the outside
+// observer, reachable by assumption.
+const ClientID NodeID = -1
+
+// Packet is one delivered payload.
+type Packet struct {
+	From, To NodeID
+	Payload  []byte
+}
+
+type event struct {
+	at      float64 // virtual delivery time, hours
+	seq     uint64  // tie-break: send order
+	from    NodeID
+	to      NodeID
+	payload []byte
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Transport is an in-process loopback network for the replicated service: a
+// discrete-event queue delivering packets in (time, sequence) order, with
+// seeded per-link latency jitter, seeded loss, host exclusion, and
+// partition support. All nondeterminism is drawn from the seeded stream, so
+// runs are reproducible.
+type Transport struct {
+	rs          *rng.Stream
+	latencyMean float64 // mean one-way latency, hours
+	lossProb    float64
+
+	now   float64
+	seq   uint64
+	queue eventHeap
+
+	host     map[NodeID]int // registered endpoints → host index
+	excluded map[int]bool
+	// partition, when non-nil, severs the link when it returns true. It is
+	// never consulted for the client (host -1 by convention of the caller).
+	partition func(fromHost, toHost int) bool
+
+	// Counters for tests and diagnostics.
+	Sent, Dropped, Delivered int
+}
+
+// NewTransport builds an empty transport. latencyMean is the mean one-way
+// delivery latency in hours (jittered uniformly over [0.5, 1.5)×mean);
+// lossProb drops each replica-to-replica packet independently. Packets to
+// or from the client are never lost: the measurement channel is assumed
+// reliable so that loss perturbs the service, not the observer.
+func NewTransport(rs *rng.Stream, latencyMean, lossProb float64) *Transport {
+	return &Transport{
+		rs:          rs,
+		latencyMean: latencyMean,
+		lossProb:    lossProb,
+		host:        make(map[NodeID]int),
+		excluded:    make(map[int]bool),
+	}
+}
+
+// Register attaches node id on the given host. The client does not
+// register; it is always reachable.
+func (t *Transport) Register(id NodeID, host int) { t.host[id] = host }
+
+// Unregister detaches a node; packets in flight to it are dropped at
+// delivery time.
+func (t *Transport) Unregister(id NodeID) { delete(t.host, id) }
+
+// ExcludeHost severs every node on the host (the transport-level effect of
+// the management layer's exclusion): packets from or to its nodes are
+// dropped from now on, including those already in flight.
+func (t *Transport) ExcludeHost(host int) { t.excluded[host] = true }
+
+// SetPartition installs a link filter: packets whose (fromHost, toHost)
+// pair the filter reports as severed are dropped. Nil heals all partitions.
+func (t *Transport) SetPartition(f func(fromHost, toHost int) bool) { t.partition = f }
+
+// Now returns the transport's virtual clock.
+func (t *Transport) Now() float64 { return t.now }
+
+// AdvanceIdle moves the virtual clock forward by dt without delivering
+// anything — client backoff between retry attempts.
+func (t *Transport) AdvanceIdle(dt float64) { t.now += dt }
+
+// reachable reports whether a packet between the two endpoints survives
+// exclusion and partition filtering. The client (not registered) has
+// conventional host -1 and bypasses both.
+func (t *Transport) reachable(from, to NodeID) bool {
+	fh, fromReplica := t.host[from]
+	th, toReplica := t.host[to]
+	if from != ClientID && !fromReplica {
+		return false // unregistered (killed) sender
+	}
+	if to != ClientID && !toReplica {
+		return false
+	}
+	if fromReplica && t.excluded[fh] {
+		return false
+	}
+	if toReplica && t.excluded[th] {
+		return false
+	}
+	if t.partition != nil && fromReplica && toReplica && t.partition(fh, th) {
+		return false
+	}
+	return true
+}
+
+// Send queues a packet. urgent packets are delivered at the current virtual
+// time ahead of any latency-delayed traffic — the adversary's scheduling
+// privilege under the worst-case network assumption (see Spec.FairAdversary
+// for the alternative). Loss applies only to replica-to-replica packets.
+func (t *Transport) Send(from, to NodeID, payload []byte, urgent bool) {
+	t.Sent++
+	if !t.reachable(from, to) {
+		t.Dropped++
+		return
+	}
+	if t.lossProb > 0 && from != ClientID && to != ClientID && t.rs.Bernoulli(t.lossProb) {
+		t.Dropped++
+		return
+	}
+	at := t.now
+	if !urgent {
+		at += t.latencyMean * (0.5 + t.rs.Float64())
+	}
+	t.seq++
+	heap.Push(&t.queue, event{at: at, seq: t.seq, from: from, to: to, payload: payload})
+}
+
+// DeliverBatch advances the clock to the earliest in-flight delivery time
+// and returns every packet due at that instant, in send order. Packets
+// whose endpoints were excluded or unregistered after sending are dropped
+// here, so a batch may come back empty while traffic remains in flight —
+// poll Quiet, not the batch length, for termination.
+func (t *Transport) DeliverBatch() []Packet {
+	var out []Packet
+	started := false
+	for len(t.queue) > 0 {
+		at := t.queue[0].at
+		if started && at != t.now {
+			break
+		}
+		e := heap.Pop(&t.queue).(event)
+		t.now = e.at
+		started = true
+		if !t.reachable(e.from, e.to) {
+			t.Dropped++
+			continue
+		}
+		t.Delivered++
+		out = append(out, Packet{From: e.from, To: e.to, Payload: e.payload})
+	}
+	return out
+}
+
+// Quiet reports whether no packets are in flight.
+func (t *Transport) Quiet() bool { return len(t.queue) == 0 }

@@ -83,6 +83,18 @@ func StudyModelShapes() []StudyModelShape {
 		})
 	}
 
+	// live: the live study's SAN arm sweeps the same small configuration
+	// as analytic (without intrusion-counter saturation, since nothing is
+	// generated); spread=0 is again the structural corner.
+	for _, spread := range []float64{0, 10} {
+		spread := spread
+		add("live", fmtShape("spread=%g", spread), func(p *core.Params) {
+			topo(p, 2, 1, 1, 2)
+			p.CorruptionMult = 5
+			p.DomainSpreadRate = spread
+		})
+	}
+
 	// xval: the cross-validation baseline, both policies.
 	for _, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
 		policy := policy

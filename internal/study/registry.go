@@ -19,6 +19,7 @@ var Registry = map[string]Runner{
 	"fig5":          Fig5,
 	"fig5-paired":   Fig5Paired,
 	"analytic":      Analytic,
+	"live":          Live,
 	"xval":          CrossValidation,
 	"numval":        NumericalValidation,
 	"abl-detect":    AblationDetectionRate,
