@@ -6,8 +6,12 @@
 #          under the race detector
 # Self-checking lanes (also run in CI):
 #   lint-models  static SAN lint over every registered study model shape
-#   fuzz-smoke   short fuzz runs of the checkpoint decoder and the
-#                stats/rng constructors
+#   fuzz-smoke   short fuzz runs of the checkpoint decoder, the
+#                stats/rng constructors, and the scenario DSL decoder
+#   serve-smoke  end-to-end smoke of the ituad job server: two concurrent
+#                jobs stream to completion over a real socket, a
+#                resubmission is a byte-identical cache hit, and the cache
+#                survives a SIGTERM restart
 #   crosscheck   full cross-engine validation (SAN engine vs the
 #                independent direct simulator), heavier than the smoke
 #                variant that runs inside `make test`
@@ -16,7 +20,7 @@
 #                the four-arm smoke variant inside `make test`
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-json bench-mc perf-smoke lint-models fuzz-smoke crosscheck livecheck
+.PHONY: ci vet build test race bench bench-json bench-mc perf-smoke lint-models fuzz-smoke serve-smoke crosscheck livecheck
 
 ci: vet build test race
 
@@ -30,7 +34,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/... ./internal/mc/... ./internal/rsm/...
+	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/... ./internal/mc/... ./internal/rsm/... ./internal/server/... ./internal/scenario/...
 
 lint-models:
 	$(GO) test ./internal/study -run TestLintRegisteredModels -count=1
@@ -42,6 +46,10 @@ fuzz-smoke:
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzBatchMeans -fuzztime 10s
 	$(GO) test ./internal/san -run '^$$' -fuzz FuzzMarkingKey -fuzztime 10s
 	$(GO) test ./internal/rsm -run '^$$' -fuzz FuzzWireMsg -fuzztime 10s
+	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzParse -fuzztime 10s
+
+serve-smoke:
+	SERVE_SMOKE=1 $(GO) test ./internal/server -run TestServeSmoke -count=1 -v -timeout 5m
 
 crosscheck:
 	CROSSCHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckFull -count=1 -v

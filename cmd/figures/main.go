@@ -54,6 +54,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -89,6 +90,7 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	list := flag.Bool("list", false, "list the registered experiments with descriptions and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: %s [flags] [experiment ...]\nexperiments: %s\nflags:\n",
@@ -96,6 +98,11 @@ func run() int {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *list {
+		printExperimentList(os.Stdout)
+		return 0
+	}
 
 	warn := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
@@ -217,6 +224,21 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// printExperimentList writes the sorted registry with one-line
+// descriptions, one experiment per line.
+func printExperimentList(w io.Writer) {
+	ids := study.IDs()
+	width := 0
+	for _, id := range ids {
+		if len(id) > width {
+			width = len(id)
+		}
+	}
+	for _, id := range ids {
+		fmt.Fprintf(w, "%-*s  %s\n", width, id, study.Describe(id))
+	}
 }
 
 // writeCSV writes one experiment's CSV file into dir.

@@ -1,0 +1,97 @@
+// Command ituad is the study-as-a-service daemon: a long-running HTTP
+// server that accepts declarative scenario files (internal/scenario), runs
+// them on the flattened simulation worker pool, streams progress while they
+// run, and serves finished results from a content-addressed cache keyed by
+// the SHA-256 of the canonical scenario — identical submissions are served
+// from cache, byte-identical to the fresh response.
+//
+// Quickstart:
+//
+//	ituad -addr :8321 -data ./ituad-data &
+//	curl -sS -X POST --data-binary @testdata/scenarios/fig5.json localhost:8321/v1/jobs
+//	curl -sN localhost:8321/v1/jobs/<id>/stream     # NDJSON progress + result
+//	curl -sS localhost:8321/v1/jobs/<id>/result     # cached result document
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: running jobs stop at the
+// next replication boundary with every finished sweep point checkpointed,
+// pending specs stay on disk, and the next ituad on the same -data resumes
+// them with bit-identical results.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ituaval/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "localhost:8321", "HTTP listen address")
+	dataDir := flag.String("data", "ituad-data", "durable state directory (result cache, pending jobs, checkpoints)")
+	workers := flag.Int("workers", 0, "simulation workers per job (0 = all cores)")
+	jobs := flag.Int("jobs", 2, "jobs running concurrently")
+	queue := flag.Int("queue", 64, "pending-job queue depth (further submissions get 503)")
+	reps := flag.Int("reps", 2000, "default replications per sweep point for scenarios that omit run.reps")
+	seed := flag.Uint64("seed", 1, "default root seed for scenarios that omit run.seed")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ituad: "+format+"\n", args...)
+	}
+
+	srv, err := server.New(server.Config{
+		DataDir:        *dataDir,
+		Workers:        *workers,
+		JobConcurrency: *jobs,
+		QueueDepth:     *queue,
+		DefaultReps:    *reps,
+		DefaultSeed:    *seed,
+		Logf:           logf,
+	})
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logf("listening on %s (data: %s)", *addr, *dataDir)
+
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		logf("%v", err)
+		_ = srv.Shutdown(context.Background())
+		return 1
+	}
+
+	logf("shutting down (drain budget %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Job shutdown first: cancelling the jobs unblocks their streams, which
+	// lets the HTTP server's own drain finish.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logf("job drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logf("http drain: %v", err)
+	}
+	logf("interrupted jobs are checkpointed; restart with the same -data to resume")
+	return 0
+}

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"ituaval/internal/core"
+	"ituaval/internal/study"
+)
+
+// paramsJSON is the comparison currency of the shape goldens: two
+// core.Params are "the same configuration" iff their JSON is byte-equal.
+func paramsJSON(t *testing.T, p core.Params) string {
+	t.Helper()
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestGoldenShapes proves the exemplar scenarios compile to byte-identical
+// core.Params as the hand-written figure runners, using the registered
+// study shapes (internal/study/models.go) as the golden source. Every
+// shape of the covered studies must be hit by some compiled grid point —
+// a scenario that silently drifted from its runner fails here.
+func TestGoldenShapes(t *testing.T) {
+	cases := []struct {
+		file  string
+		study string
+		key   func(pt Point) string // must match models.go's shape names
+	}{
+		{"fig5.json", "fig5", func(pt Point) string {
+			return fmt.Sprintf("%s,spread=%g", pt.Params.Policy, pt.X)
+		}},
+		{"fig5.yaml", "fig5", func(pt Point) string {
+			return fmt.Sprintf("%s,spread=%g", pt.Params.Policy, pt.X)
+		}},
+		{"analytic.json", "analytic", func(pt Point) string {
+			return fmt.Sprintf("spread=%g", pt.X)
+		}},
+		{"live.json", "live", func(pt Point) string {
+			return fmt.Sprintf("spread=%g", pt.X)
+		}},
+	}
+	shapes := study.StudyModelShapes()
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			c := compileFile(t, tc.file, Defaults{})
+			compiled := make(map[string]string, len(c.Points))
+			for _, pt := range c.Points {
+				compiled[tc.key(pt)] = paramsJSON(t, pt.Params)
+			}
+			n := 0
+			for _, sh := range shapes {
+				if sh.Study != tc.study {
+					continue
+				}
+				n++
+				got, ok := compiled[sh.Name]
+				if !ok {
+					t.Errorf("no compiled point for registered shape %q", sh.Name)
+					continue
+				}
+				if want := paramsJSON(t, sh.Params); got != want {
+					t.Errorf("shape %q:\n compiled: %s\n registry: %s", sh.Name, got, want)
+				}
+			}
+			if n == 0 {
+				t.Fatalf("no registered shapes for study %q", tc.study)
+			}
+		})
+	}
+}
+
+// TestGoldenFig5CSV is the end-to-end golden: running the fig5 scenario
+// through Compile → RunSweep → Figure must reproduce the registered Fig5
+// runner's output byte-for-byte (same CSV, including every IEEE-754
+// value), at reduced effort and across worker counts. This pins the whole
+// declarative path — seed schedule, grid order, measure construction,
+// panel assembly — to the hand-written original.
+func TestGoldenFig5CSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := context.Background()
+	want := figureCSV(t, func() (*study.Figure, error) {
+		return study.Fig5(ctx, study.Config{Reps: 60, Seed: 7, Workers: 4})
+	})
+	c := compileFile(t, "fig5.json", Defaults{Reps: 60, Seed: 7})
+	for _, workers := range []int{1, 4} {
+		got := figureCSV(t, func() (*study.Figure, error) {
+			return c.Run(ctx, study.Config{Workers: workers}, study.SweepHooks{})
+		})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("scenario fig5 CSV (workers=%d) differs from study.Fig5\n--- scenario ---\n%s\n--- registry ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+func figureCSV(t *testing.T, run func() (*study.Figure, error)) []byte {
+	t.Helper()
+	fig, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

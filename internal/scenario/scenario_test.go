@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ituaval/internal/san"
+)
+
+func lintOptions() san.LintOptions { return san.LintOptions{} }
+
+// exemplarDir is the repo-level scenario exemplar directory, also used by
+// the server tests and the serve-smoke lane.
+const exemplarDir = "../../testdata/scenarios"
+
+func parseFile(t *testing.T, name string) *Scenario {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(exemplarDir, name))
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return sc
+}
+
+func compileFile(t *testing.T, name string, d Defaults) *Compiled {
+	t.Helper()
+	c, err := Compile(parseFile(t, name), d)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return c
+}
+
+// TestExemplarsCompile proves every shipped exemplar parses, validates, and
+// compiles, and that its grid passes the static SAN lint — the same gate
+// the registered studies get from the lint-models lane.
+func TestExemplarsCompile(t *testing.T) {
+	entries, err := os.ReadDir(exemplarDir)
+	if err != nil {
+		t.Fatalf("read exemplar dir: %v", err)
+	}
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") && !strings.HasSuffix(name, ".yaml") {
+			continue
+		}
+		n++
+		c := compileFile(t, name, Defaults{})
+		if len(c.Points) == 0 {
+			t.Errorf("%s: compiled to an empty grid", name)
+		}
+		findings, err := c.Lint(lintOptions())
+		if err != nil {
+			t.Errorf("%s: lint: %v", name, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: lint finding: %+v", name, f)
+		}
+	}
+	if n < 3 {
+		t.Fatalf("expected at least 3 exemplar scenarios, found %d", n)
+	}
+}
+
+// TestYAMLTwinHash proves the YAML spelling of fig5 canonicalizes to the
+// same bytes — and so the same content address — as the JSON spelling.
+func TestYAMLTwinHash(t *testing.T) {
+	j := compileFile(t, "fig5.json", Defaults{})
+	y := compileFile(t, "fig5.yaml", Defaults{})
+	if jh, yh := j.Hash(), y.Hash(); jh != yh {
+		t.Fatalf("fig5.yaml hash %s != fig5.json hash %s\njson: %s\nyaml: %s",
+			yh, jh, j.Canonical(), y.Canonical())
+	}
+}
+
+// TestHashSensitivity: the content address must change when anything that
+// changes results changes (seed, reps, a rate), and must NOT change for a
+// byte-level respelling of the same study.
+func TestHashSensitivity(t *testing.T) {
+	base := compileFile(t, "fig5.json", Defaults{})
+
+	respelled := parseFile(t, "fig5.json")
+	c2, err := Compile(respelled, Defaults{Reps: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Hash() != c2.Hash() {
+		t.Errorf("explicit defaults changed the hash: %s vs %s", base.Hash(), c2.Hash())
+	}
+
+	mut := parseFile(t, "fig5.json")
+	mut.Run.Seed = 2
+	c3, err := Compile(mut, Defaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Hash() == c3.Hash() {
+		t.Error("changing the seed did not change the hash")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	valid := `{"name":"x","model":{"domains":2,"hostsPerDomain":1,"apps":1,"repsPerApp":2},
+		"horizon":5,"measures":[{"name":"u","kind":"unavailability"}]}`
+	if _, err := Parse([]byte(valid)); err != nil {
+		t.Fatalf("baseline scenario rejected: %v", err)
+	}
+	cases := map[string]string{
+		"unknown field":   `{"name":"x","modle":{}}`,
+		"trailing data":   valid + `{"name":"y"}`,
+		"empty input":     ``,
+		"zero topology":   `{"name":"x","model":{"domains":0,"hostsPerDomain":1,"apps":1,"repsPerApp":2},"horizon":5,"measures":[{"name":"u","kind":"unavailability"}]}`,
+		"no measures":     `{"name":"x","model":{"domains":2,"hostsPerDomain":1,"apps":1,"repsPerApp":2},"horizon":5,"measures":[]}`,
+		"bad kind":        `{"name":"x","model":{"domains":2,"hostsPerDomain":1,"apps":1,"repsPerApp":2},"horizon":5,"measures":[{"name":"u","kind":"availability"}]}`,
+		"bad policy":      `{"name":"x","model":{"domains":2,"hostsPerDomain":1,"apps":1,"repsPerApp":2,"policy":"none"},"horizon":5,"measures":[{"name":"u","kind":"unavailability"}]}`,
+		"negative rate":   `{"name":"x","model":{"domains":2,"hostsPerDomain":1,"apps":1,"repsPerApp":2,"totalAttackRate":-1},"horizon":5,"measures":[{"name":"u","kind":"unavailability"}]}`,
+		"enum x axis":     `{"name":"x","model":{"domains":2,"hostsPerDomain":1,"apps":1,"repsPerApp":2},"horizon":5,"measures":[{"name":"u","kind":"unavailability"}],"sweep":{"x":{"param":"policy","strings":["host-exclusion"]}}}`,
+		"yaml nan rate":   "name: x\nmodel:\n  domains: 2\n  hostsPerDomain: 1\n  apps: 1\n  repsPerApp: 2\n  totalAttackRate: .nan\nhorizon: 5\nmeasures:\n  - name: u\n    kind: unavailability\n",
+		"yaml dup key":    "name: x\nname: y\n",
+		"oversized input": `{"name":"` + strings.Repeat("a", maxScenarioBytes) + `"}`,
+	}
+	for label, in := range cases {
+		sc, err := Parse([]byte(in))
+		if err == nil {
+			// A negative rate passes Parse's structural pass; it must then
+			// die in Compile before any simulation money is spent.
+			if _, cerr := Compile(sc, Defaults{}); cerr == nil {
+				t.Errorf("%s: accepted", label)
+			}
+		}
+	}
+}
+
+// TestCompileRejectsSeedCollision: two grid points sharing a seed offset
+// would silently correlate their replication streams; Compile must refuse.
+func TestCompileRejectsSeedCollision(t *testing.T) {
+	in := `{"name":"x","model":{"domains":2,"hostsPerDomain":1,"apps":1,"repsPerApp":2},
+		"horizon":5,"measures":[{"name":"u","kind":"unavailability"}],
+		"sweep":{"x":{"param":"domainSpreadRate","values":[0,1,2]},
+		         "series":{"param":"policy","strings":["host-exclusion","domain-exclusion"],"seedStride":2}}}`
+	sc, err := Parse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(sc, Defaults{}); err == nil || !strings.Contains(err.Error(), "collides") {
+		t.Fatalf("seed collision not rejected: %v", err)
+	}
+}
+
+// TestCompileDefaults pins the normalization the content address depends
+// on: effort defaults, figure metadata fallbacks, measure horizon fill-in.
+func TestCompileDefaults(t *testing.T) {
+	in := `{"name":"small","model":{"domains":2,"hostsPerDomain":1,"apps":1,"repsPerApp":2},
+		"horizon":5,"measures":[{"name":"u","kind":"unavailability"}]}`
+	sc, err := Parse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(sc, Defaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &c.Scenario
+	if n.Run.Reps != 2000 || n.Run.Seed != 1 {
+		t.Errorf("default effort: got reps=%d seed=%d, want 2000/1", n.Run.Reps, n.Run.Seed)
+	}
+	if n.Figure.ID != "small" || n.Figure.Title != "small" {
+		t.Errorf("figure metadata fallback: got %+v", n.Figure)
+	}
+	if n.Measures[0].To != 5 {
+		t.Errorf("measure horizon fill-in: got to=%g, want 5", n.Measures[0].To)
+	}
+	if len(c.Points) != 1 || c.Points[0].SeedOffset != 0 {
+		t.Errorf("sweepless grid: got %d points, offset %d", len(c.Points), c.Points[0].SeedOffset)
+	}
+	// The input scenario must not have been mutated: normalization belongs
+	// to the compiled copy only.
+	if sc.Run.Reps != 0 || sc.Figure.ID != "" {
+		t.Errorf("Compile mutated its input: %+v %+v", sc.Run, sc.Figure)
+	}
+}

@@ -1,0 +1,244 @@
+package scenario
+
+// Minimal YAML-subset reader. The repo takes no external dependencies, so
+// instead of a full YAML implementation this file accepts the small,
+// unambiguous slice of YAML that scenario files actually need — indented
+// block mappings, "- " block sequences, flow scalars/JSON values, and "#"
+// comments — and converts it to the JSON value tree the strict scenario
+// decoder already understands. Anything outside the subset (anchors, tags,
+// multi-line scalars, flow mappings spanning lines, duplicate keys) is a
+// hard error, never a guess: scenario files are configuration for long
+// simulation campaigns, and a misread file must fail loudly before it burns
+// compute.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// yamlToJSON converts the YAML subset to canonical JSON bytes.
+func yamlToJSON(data []byte) ([]byte, error) {
+	lines, err := yamlLines(data)
+	if err != nil {
+		return nil, err
+	}
+	v, rest, err := yamlBlock(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("yaml: line %d: unexpected dedent/content after document", rest[0].num)
+	}
+	return json.Marshal(v)
+}
+
+// yamlLine is one significant (non-blank, non-comment) line.
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int // leading spaces
+	text   string
+}
+
+func yamlLines(data []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		if strings.ContainsRune(raw, '\t') {
+			return nil, fmt.Errorf("yaml: line %d: tabs are not allowed for indentation", i+1)
+		}
+		trimmed := strings.TrimLeft(raw, " ")
+		body := strings.TrimRight(stripComment(trimmed), " \r")
+		if body == "" {
+			continue
+		}
+		out = append(out, yamlLine{num: i + 1, indent: len(raw) - len(trimmed), text: body})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "# ..." comment, respecting quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inD:
+			inS = !inS
+		case r == '"' && !inS:
+			inD = !inD
+		case r == '#' && !inS && !inD && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// yamlBlock parses one block (mapping or sequence) at the given indentation
+// and returns the remaining lines belonging to enclosing blocks.
+func yamlBlock(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	if len(lines) == 0 {
+		return nil, nil, fmt.Errorf("yaml: empty block")
+	}
+	first := lines[0]
+	if first.indent != indent {
+		return nil, nil, fmt.Errorf("yaml: line %d: bad indentation %d (want %d)", first.num, first.indent, indent)
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return yamlSequence(lines, indent)
+	}
+	return yamlMapping(lines, indent)
+}
+
+func yamlMapping(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	m := map[string]any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml: line %d: unexpected indentation", ln.num)
+		}
+		key, rest, err := yamlKey(ln)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, nil, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		lines = lines[1:]
+		if rest != "" {
+			v, err := yamlScalar(rest, ln.num)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Key with no inline value: a nested block, or null if nothing
+		// deeper follows.
+		if len(lines) == 0 || lines[0].indent <= indent {
+			m[key] = nil
+			continue
+		}
+		v, remain, err := yamlBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = v
+		lines = remain
+	}
+	return m, lines, nil
+}
+
+func yamlSequence(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	seq := []any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent || (ln.text != "-" && !strings.HasPrefix(ln.text, "- ")) {
+			return nil, nil, fmt.Errorf("yaml: line %d: expected sequence item", ln.num)
+		}
+		item := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		if item == "" {
+			// "-" alone: the item is the nested block below.
+			lines = lines[1:]
+			if len(lines) == 0 || lines[0].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, remain, err := yamlBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			seq = append(seq, v)
+			lines = remain
+			continue
+		}
+		if key, rest, err := yamlKey(yamlLine{num: ln.num, text: item}); err == nil {
+			// "- key: value" starts an inline mapping whose further keys are
+			// indented to the item's column.
+			inner := []yamlLine{{num: ln.num, indent: indent + 2, text: item}}
+			_ = key
+			_ = rest
+			lines = lines[1:]
+			for len(lines) > 0 && lines[0].indent >= indent+2 {
+				inner = append(inner, lines[0])
+				lines = lines[1:]
+			}
+			v, remain, err := yamlMapping(inner, indent+2)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(remain) > 0 {
+				return nil, nil, fmt.Errorf("yaml: line %d: bad indentation in sequence item", remain[0].num)
+			}
+			seq = append(seq, v)
+			continue
+		}
+		v, err := yamlScalar(item, ln.num)
+		if err != nil {
+			return nil, nil, err
+		}
+		seq = append(seq, v)
+		lines = lines[1:]
+	}
+	return seq, lines, nil
+}
+
+// yamlKey splits "key: value" / "key:" and rejects anything else.
+func yamlKey(ln yamlLine) (key, rest string, err error) {
+	i := strings.Index(ln.text, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml: line %d: expected \"key: value\"", ln.num)
+	}
+	if i+1 < len(ln.text) && ln.text[i+1] != ' ' {
+		return "", "", fmt.Errorf("yaml: line %d: missing space after %q", ln.num, ln.text[:i+1])
+	}
+	key = strings.TrimSpace(ln.text[:i])
+	if key == "" || strings.ContainsAny(key, "\"'{}[],") {
+		return "", "", fmt.Errorf("yaml: line %d: unsupported key %q", ln.num, key)
+	}
+	return key, strings.TrimSpace(ln.text[i+1:]), nil
+}
+
+// yamlScalar interprets a flow value. JSON syntax is tried first, so
+// numbers, booleans, null, quoted strings, and inline arrays ([1, 2, 3])
+// keep their JSON meaning; everything else is a plain string. Notably the
+// YAML-only spellings .nan/.inf stay strings here and are then rejected by
+// the scenario decoder's type checks, which is the safe reading for a
+// numeric configuration format.
+func yamlScalar(s string, num int) (any, error) {
+	var v any
+	if err := strictJSONValue(s, &v); err == nil {
+		return v, nil
+	}
+	if strings.HasPrefix(s, "'") && strings.HasSuffix(s, "'") && len(s) >= 2 {
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if strings.ContainsAny(s, "{}[]\"") {
+		return nil, fmt.Errorf("yaml: line %d: unsupported flow value %q", num, s)
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "~":
+		return nil, nil
+	}
+	return s, nil
+}
+
+// strictJSONValue decodes s as exactly one JSON value with no trailing data.
+func strictJSONValue(s string, v *any) error {
+	dec := json.NewDecoder(strings.NewReader(s))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data")
+	}
+	return nil
+}

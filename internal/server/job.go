@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"ituaval/internal/scenario"
+)
+
+// Job states. A job is born queued, runs at most once per server lifetime,
+// and ends done, failed, or cancelled; interrupted means the server shut
+// down mid-run with the job's spec still persisted, so the next server
+// start re-queues it and its checkpoint resumes the finished points.
+const (
+	stateQueued      = "queued"
+	stateRunning     = "running"
+	stateDone        = "done"
+	stateFailed      = "failed"
+	stateCancelled   = "cancelled"
+	stateInterrupted = "interrupted"
+)
+
+// job is one submitted scenario run. The job id IS the scenario's content
+// address (SHA-256 of the canonical spec), so identical submissions
+// coalesce onto one job and one cached result.
+type job struct {
+	id        string
+	compiled  *scenario.Compiled
+	canonical []byte
+
+	// repsDone counts finished replications across the whole grid
+	// (completed, failed, or drained), for progress reporting.
+	repsDone  atomic.Int64
+	totalReps int64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  string
+	errMsg string
+	// events is the append-only replay log every stream subscriber reads
+	// from index 0 — a late subscriber sees exactly what an early one saw.
+	events []json.RawMessage
+	closed bool // terminal: no further events will be appended
+	cancel context.CancelFunc
+}
+
+func newJob(id string, c *scenario.Compiled, canonical []byte) *job {
+	j := &job{
+		id:        id,
+		compiled:  c,
+		canonical: canonical,
+		state:     stateQueued,
+		totalReps: c.TotalReps(),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// emit appends one event to the replay log and wakes the subscribers.
+// Events marshal here, on the emitting goroutine (simulation workers for
+// progress events), so subscribers only copy bytes.
+func (j *job) emit(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Event payloads are structs of scalars and RawMessages; Marshal
+		// cannot fail on them.
+		panic("server: marshaling event: " + err.Error())
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.events = append(j.events, b)
+	j.cond.Broadcast()
+}
+
+// close marks the event log terminal and wakes the subscribers for the
+// last time.
+func (j *job) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
+	j.cond.Broadcast()
+}
+
+func (j *job) setState(state, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.errMsg = errMsg
+}
+
+func (j *job) snapshot() (state, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg
+}
+
+// wait blocks until the replay log grows past from, the log closes, or ctx
+// ends; it returns the new events and whether the log is terminal. The
+// caller must arrange a Broadcast on ctx cancellation (the stream handler
+// uses context.AfterFunc) or wait may sleep past it.
+func (j *job) wait(ctx context.Context, from int) (events []json.RawMessage, done bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.events) <= from && !j.closed && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	if from < len(j.events) {
+		events = j.events[from:]
+	}
+	return events, j.closed
+}
+
+// Event payloads. Every event carries type and job so a multiplexed reader
+// can demux; the rest is type-specific.
+
+type queuedEvent struct {
+	Type string `json:"type"` // "queued"
+	Job  string `json:"job"`
+}
+
+type startedEvent struct {
+	Type      string `json:"type"` // "started"
+	Job       string `json:"job"`
+	Points    int    `json:"points"`
+	TotalReps int64  `json:"totalReps"` // 0 under a precision target
+	Resumed   int    `json:"resumed"`   // points restored from the checkpoint
+}
+
+type progressEvent struct {
+	Type      string `json:"type"` // "progress"
+	Job       string `json:"job"`
+	RepsDone  int64  `json:"repsDone"`
+	TotalReps int64  `json:"totalReps"`
+}
+
+// measureEstimate is the streamed per-measure statistic of a finished
+// point: the running answer and its 95% confidence half-width.
+type measureEstimate struct {
+	Mean        float64 `json:"mean"`
+	HalfWidth95 float64 `json:"halfWidth95"`
+	N           int64   `json:"n"`
+}
+
+type pointEvent struct {
+	Type      string                     `json:"type"` // "point"
+	Job       string                     `json:"job"`
+	Point     int                        `json:"point"`
+	Label     string                     `json:"label"`
+	Measures  map[string]measureEstimate `json:"measures"`
+	Reps      int                        `json:"reps"`
+	Completed int                        `json:"completed"`
+	Failed    int                        `json:"failed"`
+	Skipped   int                        `json:"skipped"`
+}
+
+type resultEvent struct {
+	Type   string          `json:"type"` // "result"
+	Job    string          `json:"job"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+}
+
+type errorEvent struct {
+	Type  string `json:"type"` // "error"
+	Job   string `json:"job"`
+	Error string `json:"error"`
+}

@@ -1,0 +1,189 @@
+package server
+
+// Serve-smoke: an end-to-end exercise of the real ituad binary over a real
+// TCP socket, run by `make serve-smoke` (gated behind SERVE_SMOKE=1 so the
+// ordinary unit-test lane stays fast). It builds cmd/ituad, starts it,
+// submits two concurrent jobs whose streams must both terminate in a
+// result, proves a resubmission is a byte-identical cache hit, then stops
+// the daemon with SIGTERM and proves the cache survives a restart.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("SERVE_SMOKE") == "" {
+		t.Skip("set SERVE_SMOKE=1 (make serve-smoke) to run the ituad end-to-end smoke")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ituad")
+	build := exec.Command("go", "build", "-o", bin, "ituaval/cmd/ituad")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building ituad: %v", err)
+	}
+	dataDir := filepath.Join(dir, "data")
+	addr := freeAddr(t)
+
+	daemon := startDaemon(t, bin, addr, dataDir)
+	waitHealthy(t, addr)
+
+	// Two concurrent jobs; both streams must terminate in a result event.
+	jobs := []string{tinyScenario("smoke-a", 101), tinyScenario("smoke-b", 102)}
+	ids := make([]string, len(jobs))
+	for i, body := range jobs {
+		ids[i] = smokeSubmit(t, addr, body, false)
+	}
+	if ids[0] == ids[1] {
+		t.Fatal("distinct scenarios collided on one content address")
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			events := smokeStream(t, addr, id)
+			if len(events) == 0 || eventType(events[len(events)-1]) != "result" {
+				t.Errorf("job %s: stream did not terminate in a result", id)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Cache hit: resubmission answers done+cached and serves the identical
+	// bytes the fresh run produced.
+	fresh := smokeResult(t, addr, ids[0])
+	if id := smokeSubmit(t, addr, jobs[0], true); id != ids[0] {
+		t.Fatalf("cache hit under a different id: %s vs %s", id, ids[0])
+	}
+	if again := smokeResult(t, addr, ids[0]); !bytes.Equal(fresh, again) {
+		t.Fatal("cached result differs from fresh result")
+	}
+
+	// Graceful stop and restart: SIGTERM must exit cleanly and the cache
+	// must survive into the next daemon.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("ituad did not exit cleanly on SIGTERM: %v", err)
+	}
+	daemon2 := startDaemon(t, bin, addr, dataDir)
+	defer func() {
+		_ = daemon2.Process.Signal(syscall.SIGTERM)
+		_ = daemon2.Wait()
+	}()
+	waitHealthy(t, addr)
+	if id := smokeSubmit(t, addr, jobs[0], true); id != ids[0] {
+		t.Fatalf("restarted daemon lost the cache: %s vs %s", id, ids[0])
+	}
+	if after := smokeResult(t, addr, ids[0]); !bytes.Equal(fresh, after) {
+		t.Fatal("result differs across daemon restarts")
+	}
+}
+
+func startDaemon(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-data", dataDir, "-jobs", "2", "-workers", "2")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd
+}
+
+// freeAddr reserves a localhost port by briefly listening on it.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ituad did not become healthy on %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func smokeSubmit(t *testing.T, addr, body string, wantCached bool) string {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %s: %s", resp.Status, raw)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cached != wantCached {
+		t.Fatalf("submit cached=%v, want %v (%s)", st.Cached, wantCached, raw)
+	}
+	return st.ID
+}
+
+func smokeStream(t *testing.T, addr, id string) []json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/jobs/%s/stream", addr, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []json.RawMessage
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev json.RawMessage
+		if err := dec.Decode(&ev); err != nil {
+			return events
+		}
+		events = append(events, ev)
+	}
+}
+
+func smokeResult(t *testing.T, addr, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/jobs/%s/result", addr, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s: %s", resp.Status, raw)
+	}
+	return raw
+}

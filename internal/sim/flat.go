@@ -22,6 +22,23 @@ type FlatResult struct {
 	Err error
 }
 
+// FlatHooks are optional progress callbacks for RunFlatFunc. Both hooks are
+// invoked from worker goroutines and must be safe for concurrent use; they
+// must not block for long, since a blocked hook stalls its worker.
+type FlatHooks struct {
+	// OnRep is called after every finished work unit of the given spec —
+	// a completed, failed, or (after cancellation) drained replication.
+	OnRep func(spec int)
+	// OnSpec is called exactly once per spec, as soon as its last unit
+	// finishes and its results are aggregated. The FlatResult it receives is
+	// the spec's eager snapshot: a spec that fully completed before a later
+	// cancellation is reported here with Err == nil, while the slice
+	// RunFlatFunc returns carries ctx.Err() for every spec once the context
+	// is cancelled (matching RunFlat's historical semantics). Invalid specs
+	// are reported before any unit runs.
+	OnSpec func(spec int, fr FlatResult)
+}
+
 // RunFlat executes several independent studies on one shared worker pool.
 // The (spec, replication) pairs of all specs are flattened into a single
 // work stream, so a sweep of many small points keeps every worker busy to
@@ -38,6 +55,15 @@ type FlatResult struct {
 // gracefully: unattempted replications count as Skipped and every valid
 // spec's Err becomes ctx.Err().
 func RunFlat(ctx context.Context, specs []Spec, workers int) []FlatResult {
+	return RunFlatFunc(ctx, specs, workers, FlatHooks{})
+}
+
+// RunFlatFunc is RunFlat with progress hooks: per-unit ticks and per-spec
+// completion callbacks fire while the pool is still working through the
+// remaining specs, which is what lets a long sweep stream results point by
+// point instead of reporting only at the end. Results are identical to
+// RunFlat's.
+func RunFlatFunc(ctx context.Context, specs []Spec, workers int, hooks FlatHooks) []FlatResult {
 	out := make([]FlatResult, len(specs))
 	// Per-spec mutable state, indexed by batch-local replication. Workers
 	// write disjoint slots, so no lock is needed.
@@ -47,6 +73,11 @@ func RunFlat(ctx context.Context, specs []Spec, workers int) []FlatResult {
 		repVals [][][]float64
 		repFir  []int64
 		repErr  []*ReplicationError
+		// remaining counts the spec's unfinished units; the worker that
+		// decrements it to zero owns the aggregation (every slot write
+		// happened before its own decrement, so the last decrementer sees
+		// them all).
+		remaining atomic.Int64
 	}
 	pts := make([]*flatPoint, len(specs))
 	// starts[i] is the first flat unit index of spec i; invalid specs own an
@@ -56,6 +87,9 @@ func RunFlat(ctx context.Context, specs []Spec, workers int) []FlatResult {
 		starts[si+1] = starts[si]
 		if err := specs[si].validate(); err != nil {
 			out[si].Err = err
+			if hooks.OnSpec != nil {
+				hooks.OnSpec(si, out[si])
+			}
 			continue
 		}
 		sp := &specs[si]
@@ -66,6 +100,7 @@ func RunFlat(ctx context.Context, specs []Spec, workers int) []FlatResult {
 			repFir:  make([]int64, sp.Reps),
 			repErr:  make([]*ReplicationError, sp.Reps),
 		}
+		pts[si].remaining.Store(int64(sp.Reps))
 		starts[si+1] += sp.Reps
 	}
 	total := starts[len(specs)]
@@ -76,55 +111,11 @@ func RunFlat(ctx context.Context, specs []Spec, workers int) []FlatResult {
 		workers = total
 	}
 
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One engine per spec per worker, built lazily: specs can differ
-			// in model, CRN mode, and invariants.
-			engines := make([]*Engine, len(specs))
-			for {
-				u := int(next.Add(1)) - 1
-				if u >= total {
-					return
-				}
-				if ctx.Err() != nil {
-					// Drain the stream; unattempted slots stay nil and are
-					// accounted as skipped below.
-					continue
-				}
-				si := sort.SearchInts(starts, u+1) - 1
-				pt := pts[si]
-				rep := u - starts[si]
-				eng := engines[si]
-				if eng == nil {
-					eng = NewEngine(pt.spec.Model, pt.spec.Validate)
-					eng.UseCRN(pt.spec.CRN)
-					eng.SetInvariants(pt.spec.Invariants, pt.spec.InvariantEvery)
-					engines[si] = eng
-				}
-				abs := pt.spec.FirstRep + rep
-				vals, firings, ferr := runReplication(ctx, eng, pt.spec, repStream(pt.spec, pt.root, abs), abs)
-				if ferr != nil {
-					if !errors.Is(ferr.Err, context.Canceled) {
-						pt.repErr[rep] = ferr
-					}
-					continue
-				}
-				pt.repVals[rep] = vals
-				pt.repFir[rep] = firings
-			}
-		}()
-	}
-	wg.Wait()
-
-	for si := range specs {
+	// finalize aggregates one spec whose every unit has finished and
+	// publishes the eager snapshot to the OnSpec hook. out[si] is written by
+	// at most one worker and read by the caller only after wg.Wait.
+	finalize := func(si int) {
 		pt := pts[si]
-		if pt == nil {
-			continue // invalid spec; Err already set
-		}
 		var firings int64
 		completed, skipped := 0, 0
 		var failures []ReplicationError
@@ -141,6 +132,69 @@ func RunFlat(ctx context.Context, specs []Spec, workers int) []FlatResult {
 		}
 		res := aggregateRepOrder(pt.spec, pt.repVals, firings, completed, skipped, failures)
 		out[si] = FlatResult{Results: res, Err: finishErr(ctx, pt.spec, res)}
+		if hooks.OnSpec != nil {
+			hooks.OnSpec(si, out[si])
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One engine per spec per worker, built lazily: specs can differ
+			// in model, CRN mode, and invariants.
+			engines := make([]*Engine, len(specs))
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= total {
+					return
+				}
+				si := sort.SearchInts(starts, u+1) - 1
+				pt := pts[si]
+				rep := u - starts[si]
+				if ctx.Err() == nil {
+					// Attempt the unit; after cancellation the stream just
+					// drains, and unattempted slots stay nil (skipped).
+					eng := engines[si]
+					if eng == nil {
+						eng = NewEngine(pt.spec.Model, pt.spec.Validate)
+						eng.UseCRN(pt.spec.CRN)
+						eng.SetInvariants(pt.spec.Invariants, pt.spec.InvariantEvery)
+						engines[si] = eng
+					}
+					abs := pt.spec.FirstRep + rep
+					vals, firings, ferr := runReplication(ctx, eng, pt.spec, repStream(pt.spec, pt.root, abs), abs)
+					if ferr != nil {
+						if !errors.Is(ferr.Err, context.Canceled) {
+							pt.repErr[rep] = ferr
+						}
+					} else {
+						pt.repVals[rep] = vals
+						pt.repFir[rep] = firings
+					}
+				}
+				if hooks.OnRep != nil {
+					hooks.OnRep(si)
+				}
+				if pt.remaining.Add(-1) == 0 {
+					finalize(si)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Re-evaluate every valid spec's error against the final context state:
+	// eager snapshots report a spec that finished before a later cancellation
+	// with a nil error, but the returned slice keeps RunFlat's historical
+	// contract that cancellation surfaces as ctx.Err() on every valid spec.
+	for si := range specs {
+		if pts[si] == nil {
+			continue // invalid spec; Err already set
+		}
+		out[si].Err = finishErr(ctx, pts[si].spec, out[si].Results)
 	}
 	return out
 }

@@ -1,0 +1,79 @@
+package study
+
+import (
+	"context"
+
+	"ituaval/internal/core"
+	"ituaval/internal/reward"
+)
+
+// PointSpec describes one sweep point for RunSweep: a model configuration,
+// the simulation horizon, the reward variables to estimate, and the seed
+// offset that keeps the point's replication streams disjoint from every
+// other point's. It is the declarative counterpart of what the registered
+// figure runners hard-code, and the compilation target of the scenario DSL
+// (internal/scenario).
+type PointSpec struct {
+	// Label prefixes any error attributed to this point.
+	Label string
+	// Params is the model configuration of the point.
+	Params core.Params
+	// Until is the simulation horizon in hours.
+	Until float64
+	// SeedOffset is added to Config.Seed to form the point's root seed.
+	// Distinct points must use distinct offsets.
+	SeedOffset uint64
+	// Vars builds the reward variables on the constructed model.
+	Vars func(m *core.Model) []reward.Var
+}
+
+// SweepHooks are optional progress callbacks for RunSweep. In the flat
+// (fixed-replication) path both hooks fire from simulation worker
+// goroutines while other points are still running, so they must be safe for
+// concurrent use and must not block; in precision mode OnPoint fires
+// synchronously between points.
+type SweepHooks struct {
+	// OnRep is called after every finished replication (completed, failed,
+	// or drained after cancellation) of the given point index. It is not
+	// called in precision mode, whose replication schedule is adaptive.
+	OnRep func(point int)
+	// OnPoint is called once per point with its aggregated result: when the
+	// worker pool finishes the point's last replication (before the
+	// deterministic commit/checkpoint pass), when a checkpointed point is
+	// restored without simulating, or — in precision mode — after the
+	// point's sequential run. Points that error are not reported.
+	OnPoint func(point int, pr *PointResult)
+}
+
+// AppendPoint appends the named measure of pr, at abscissa x, to the
+// series — the same cell layout the registered figure runners emit, so
+// external figure assembly (internal/scenario) stays byte-compatible with
+// theirs.
+func AppendPoint(s *Series, x float64, name string, pr *PointResult) {
+	appendPoint(s, x, name, pr)
+}
+
+// RunSweep executes a set of sweep points under the given configuration,
+// sharing one flattened worker pool across all points exactly like the
+// registered figure runners (precision targets switch the points to
+// sequential adaptive runs instead). Results are bit-identical at every
+// worker count, points already present in cfg.Checkpoint are restored
+// without simulating, and freshly computed points are persisted before
+// RunSweep returns — so an interrupted sweep resumed with the same
+// checkpoint loses none of its finished work.
+//
+// The returned slice is parallel to points; on error, entries of points
+// that completed (and were committed) are still populated, the rest are
+// nil.
+func RunSweep(ctx context.Context, cfg Config, points []PointSpec, hooks SweepHooks) ([]*PointResult, error) {
+	cfg = cfg.withDefaults()
+	sw := newSweep(cfg)
+	sw.hooks = hooks
+	prs := make([]*PointResult, len(points))
+	for i := range points {
+		p := &points[i]
+		sw.add(&prs[i], p.Label, cfg, p.Params, p.Until, p.SeedOffset, p.Vars)
+	}
+	err := sw.run(ctx)
+	return prs, err
+}

@@ -28,6 +28,27 @@ var Registry = map[string]Runner{
 	"abl-placement": AblationPlacement,
 }
 
+// descriptions holds a one-line summary per registered experiment id, for
+// discovery surfaces (figures -list, ituaval -list, GET /v1/studies).
+var descriptions = map[string]string{
+	"fig3":          "Figure 3: measures for different distributions of 12 hosts into domains (first 5 h)",
+	"fig4":          "Figure 4: measures for 10 domains with a growing number of hosts per domain",
+	"fig5":          "Figure 5: domain- vs host-exclusion over intra-domain attack-spread rates",
+	"fig5-paired":   "Figure 5 on common random numbers: host-minus-domain deltas with paired-t CIs and crossovers",
+	"analytic":      "exact (CTMC uniformization) vs simulated measures on a 2-domain configuration",
+	"live":          "SAN model vs a real fault-injected replica group (internal/rsm) on a 2-domain configuration",
+	"xval":          "cross-validation: SAN engine vs the independent direct simulator on a shared baseline",
+	"numval":        "numerical validation: reduced SAN vs closed-form birth-process results",
+	"abl-detect":    "ablation: sweep the detection-pipeline rate calibrated for the paper's figures",
+	"abl-split":     "ablation: sweep the host/replica attack-split weight",
+	"abl-convict":   "ablation: exclusion-on-replica-conviction response variants",
+	"abl-placement": "ablation: recovery placement strategies (uniform, least-loaded, weighted-random)",
+}
+
+// Describe returns the one-line description of a registered experiment id,
+// or "" for an unknown id.
+func Describe(id string) string { return descriptions[id] }
+
 // IDs returns the registered experiment ids, sorted.
 func IDs() []string {
 	ids := make([]string, 0, len(Registry))

@@ -18,8 +18,9 @@ import (
 // from the same derived stream and each point aggregates in replication
 // order — and independent of the worker count.
 type sweep struct {
-	cfg  Config
-	reqs []sweepReq
+	cfg   Config
+	reqs  []sweepReq
+	hooks SweepHooks
 }
 
 // sweepReq is one scheduled point: where its result goes, the error label
@@ -45,6 +46,15 @@ func (sw *sweep) add(out **PointResult, label string, pcfg Config, p core.Params
 	sw.reqs = append(sw.reqs, sweepReq{out, label, pcfg, p, until, seedOffset, vars})
 }
 
+// notifyPoint forwards one finished point to the progress hook, if any. In
+// the flat path it fires from worker goroutines while other points are still
+// running; SweepHooks documents the concurrency contract.
+func (sw *sweep) notifyPoint(i int, pr *PointResult) {
+	if sw.hooks.OnPoint != nil {
+		sw.hooks.OnPoint(i, pr)
+	}
+}
+
 // run executes every scheduled point. In precision mode the points run
 // sequentially through point() — sequential stopping decides each point's
 // replication count adaptively, which has no fixed flat decomposition —
@@ -61,10 +71,12 @@ func (sw *sweep) run(ctx context.Context) error {
 				return fmt.Errorf("%s: %w", req.label, err)
 			}
 			*req.out = pr
+			sw.notifyPoint(i, pr)
 		}
 		return nil
 	}
 	var pending []*sweepReq
+	var pendIdx []int
 	var specs []sim.Spec
 	var keys []string
 	for i := range sw.reqs {
@@ -74,6 +86,7 @@ func (sw *sweep) run(ctx context.Context) error {
 			key = pointKey(req.cfg, req.params, req.until, req.seedOffset)
 			if pr, ok := req.cfg.Checkpoint.lookup(key); ok {
 				*req.out = pr
+				sw.notifyPoint(i, pr)
 				continue
 			}
 		}
@@ -92,12 +105,27 @@ func (sw *sweep) run(ctx context.Context) error {
 			MaxFailureFrac: req.cfg.MaxFailureFrac,
 		})
 		pending = append(pending, req)
+		pendIdx = append(pendIdx, i)
 		keys = append(keys, key)
 	}
 	if len(pending) == 0 {
 		return nil
 	}
-	frs := sim.RunFlat(ctx, specs, sw.cfg.Workers)
+	hooks := sim.FlatHooks{}
+	if sw.hooks.OnRep != nil {
+		hooks.OnRep = func(si int) { sw.hooks.OnRep(pendIdx[si]) }
+	}
+	if sw.hooks.OnPoint != nil {
+		// Stream each point's eager snapshot as soon as the pool finishes it.
+		// The streamed PointResult precedes the commit loop below (warnings,
+		// checkpoint persistence), which still runs in deterministic order.
+		hooks.OnSpec = func(si int, fr sim.FlatResult) {
+			if fr.Err == nil && fr.Results != nil {
+				sw.hooks.OnPoint(pendIdx[si], newPointResult(fr.Results))
+			}
+		}
+	}
+	frs := sim.RunFlatFunc(ctx, specs, sw.cfg.Workers, hooks)
 	var firstErr error
 	for i, req := range pending {
 		fr := frs[i]
