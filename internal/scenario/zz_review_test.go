@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReviewTrailingGarbage(t *testing.T) {
+	valid := `{"name":"a","horizon":1,"model":{"domains":1,"hostsPerDomain":1,"apps":1,"repsPerApp":1},"measures":[{"name":"m","kind":"hosts-up"}]}`
+	if _, err := Parse([]byte(valid)); err != nil {
+		t.Fatalf("valid: %v", err)
+	}
+	if _, err := Parse([]byte(valid + " }")); err == nil {
+		t.Errorf("invalid trailing garbage ACCEPTED")
+	} else {
+		t.Logf("trailing garbage rejected: %v", err)
+	}
+}
+
+func TestReviewStrideHang(t *testing.T) {
+	spec := `{"name":"a","horizon":1,"model":{"domains":1,"hostsPerDomain":1,"apps":1,"repsPerApp":1},"measures":[{"name":"m","kind":"hosts-up"}],"sweep":{"x":{"param":"recoveryRate","values":[0.1,0.2,0.3],"seedStride":5000000000000000000},"series":{"param":"policy","strings":["domain-exclusion","host-exclusion"]}}}`
+	sc, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Compile(sc, Defaults{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Logf("compile returned: %v", err)
+	case <-time.After(3 * time.Second):
+		t.Errorf("Compile HUNG (infinite loop in default series stride)")
+	}
+}
