@@ -18,9 +18,13 @@
 #   livecheck    full live validation (model vs a real fault-injected
 #                replica group, the fourth CrossCheck arm), heavier than
 #                the four-arm smoke variant inside `make test`
+#   faultcheck   full environment-fault cross-check (partitions, attack
+#                campaigns, bounded repair crew active in every engine:
+#                SAN vs direct vs live vs exact), heavier than the
+#                fault smoke variant inside `make test`
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-json bench-mc perf-smoke lint-models fuzz-smoke serve-smoke crosscheck livecheck
+.PHONY: ci vet build test race bench bench-json bench-mc perf-smoke lint-models fuzz-smoke serve-smoke crosscheck livecheck faultcheck
 
 ci: vet build test race
 
@@ -56,6 +60,9 @@ crosscheck:
 
 livecheck:
 	LIVECHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckLiveFull -count=1 -v -timeout 30m
+
+faultcheck:
+	FAULTCHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckFaultsFull -count=1 -v -timeout 30m
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim ./internal/mc

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	figures [-reps N] [-seed S] [-precision R] [-paired] [-analytic] [-live] [-csv dir] [-checkpoint file] [-resume] [experiment ...]
+//	figures [-reps N] [-seed S] [-precision R] [-paired] [-analytic] [-live] [-faults] [-csv dir] [-checkpoint file] [-resume] [experiment ...]
 //
 // With no experiment arguments every registered experiment runs. Text
 // tables go to stdout; -csv additionally writes one CSV file per
@@ -35,6 +35,13 @@
 // attack process (internal/rsm), a synthetic client measuring the service
 // it actually receives. Also excluded from the default set because each
 // sweep point executes thousands of live agreement-protocol runs.
+//
+// -faults adds the environment-fault study (experiment id "faults"): a
+// partition-rate x campaign-rate grid on the same small configuration,
+// with network partitions, correlated attack campaigns, and a bounded
+// repair crew active, cross-validated SAN vs direct simulation vs live
+// replica group, with an exact uniformization anchor at one grid point.
+// Excluded from the default set for the same cost reasons as -live.
 //
 // Long sweeps are fault tolerant: with -checkpoint, every completed sweep
 // point is persisted atomically, Ctrl-C (SIGINT) or SIGTERM stops the run
@@ -87,6 +94,7 @@ func run() int {
 	paired := flag.Bool("paired", false, "use the CRN-paired variant of experiments that have one (fig5 -> fig5-paired)")
 	analytic := flag.Bool("analytic", false, "include the analytic study: exact (uniformization) vs simulated measures on a small configuration")
 	live := flag.Bool("live", false, "include the live study: SAN model vs a real fault-injected replica group on a small configuration")
+	faults := flag.Bool("faults", false, "include the environment-fault study: partitions x campaigns x repair crew, SAN vs direct vs live with an exact anchor")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -141,10 +149,11 @@ func run() int {
 
 	ids := flag.Args()
 	// The analytic study solves CTMCs of a few hundred thousand states per
-	// sweep point, and the live study runs real protocol executions; each
-	// joins the default set only when its flag is given (either can still be
-	// named explicitly as an argument).
-	optIn := map[string]bool{"analytic": *analytic, "live": *live}
+	// sweep point, the live study runs real protocol executions, and the
+	// faults study does both across a two-axis grid; each joins the default
+	// set only when its flag is given (any can still be named explicitly as
+	// an argument).
+	optIn := map[string]bool{"analytic": *analytic, "live": *live, "faults": *faults}
 	if len(ids) == 0 {
 		ids = study.IDs()
 		kept := ids[:0]
@@ -155,7 +164,7 @@ func run() int {
 		}
 		ids = kept
 	} else {
-		for _, id := range []string{"analytic", "live"} {
+		for _, id := range []string{"analytic", "live", "faults"} {
 			if !optIn[id] {
 				continue
 			}

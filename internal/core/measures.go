@@ -8,10 +8,37 @@ import (
 // Improper returns the improper-service predicate for application app: a
 // third or more of the currently running replicas are corrupt but
 // undetected (a Byzantine fault), with "no replicas running" improper.
+// When the model has the partition feature, service is also improper while
+// an active partition isolates the whole replica group across the cut:
+// every running replica sits in one of the two severed domains with at
+// least one on each side, so no relay path exists and neither side can
+// assemble a response majority (under the one-replica-per-domain placement
+// law the severed sides hold one replica each). Partitions never cause
+// Byzantine (wrong-answer) faults, so Byzantine is unchanged.
 func (m *Model) Improper(app int) func(s *san.State) bool {
 	running, undet := m.Running[app], m.Undet[app]
+	hasRep := m.HasReplica[app]
+	pa, pb := m.PartitionA, m.PartitionB
 	return func(s *san.State) bool {
-		return 3*s.Int(undet) >= s.Int(running)
+		if 3*s.Int(undet) >= s.Int(running) {
+			return true
+		}
+		if pa == nil || s.Get(pa) == 0 {
+			return false
+		}
+		da, db := s.Int(pa)-1, s.Int(pb)-1
+		inCut := 0
+		for d := range hasRep {
+			if s.Get(hasRep[d]) == 0 {
+				continue
+			}
+			if d == da || d == db {
+				inCut++
+			} else {
+				return false // a replica outside the cut relays
+			}
+		}
+		return inCut == 2
 	}
 }
 

@@ -55,6 +55,18 @@ type Model struct {
 	// HasReplica[a][d] is 1 while application a has a replica in domain d.
 	HasReplica [][]*san.Place
 
+	// Environment-fault places (nil unless the corresponding fault rates
+	// are positive; see the structural gates in Build). PartitionA/B hold
+	// the severed domain + 1 while a partition is active (0 = healed).
+	// RepairBusy + RepairIdle = Params.RepairCrew is the crew conservation
+	// law, and RepairInService[a] is 1 while a crew member is serving
+	// application a's recovery (RepairBusy = Σa RepairInService[a]).
+	PartitionA      *san.Place
+	PartitionB      *san.Place
+	RepairBusy      *san.Place
+	RepairIdle      *san.Place
+	RepairInService []*san.Place
+
 	// Per-replica-slot places ([a][r]); the slot count is min(RepsPerApp,
 	// NumDomains), the most replicas an app can run at once under the
 	// one-per-domain placement law.
@@ -87,9 +99,19 @@ func Build(p Params) (*Model, error) {
 	canAttackHost := rt.hostAttack > 0
 	canAttackMgr := rt.mgrAttack > 0
 	canAttackRep := rt.replicaAttack > 0
-	canSpreadDom := p.DomainSpreadRate > 0 && canAttackHost
+	// Correlated campaigns are a second way hosts become corrupt, so every
+	// gate that used to ask "can a host attack succeed" asks "can a host
+	// become corrupt" instead; with the campaign rates zero the two are the
+	// same predicate and the net is structurally unchanged.
+	canCampaign := p.CampaignRate > 0 && p.CampaignSize > 0 && p.CampaignProb > 0
+	canCorruptHost := canAttackHost || canCampaign
+	// Domain spread raises the attack rates on the domain's hosts, managers
+	// and replicas; it is observable only if at least one of those attack
+	// processes exists. System spread raises host attack rates only.
+	canSpreadDom := p.DomainSpreadRate > 0 && canCorruptHost &&
+		(canAttackHost || canAttackMgr || canAttackRep)
 	canSpreadSys := p.SystemSpreadRate > 0 && canAttackHost
-	canDetectHost := p.HostDetectRate > 0 && canAttackHost
+	canDetectHost := p.HostDetectRate > 0 && canCorruptHost
 	canDetectMgr := p.MgrDetectRate > 0 && canAttackMgr
 	canDetectRep := p.ReplicaDetectRate > 0 && canAttackRep
 	// Misbehaviour conviction requires a group with strictly less than a
@@ -112,6 +134,10 @@ func Build(p Params) (*Model, error) {
 	canRecover := (canConvict && !p.ExcludeOnReplicaConviction) ||
 		(p.Policy == HostExclusion && canExclude && (H > 1 || min(R, D) < D)) ||
 		(p.Policy == DomainExclusion && canExclude && min(R, D) < D)
+	// Environment faults: partitions need a pair of domains to sever, and
+	// a repair crew only matters if recovery can fire at all.
+	canPartition := p.PartitionRate > 0 && p.PartitionHealRate > 0 && D > 1
+	canCrew := p.RepairCrew > 0 && canRecover
 	// An app holds at most min(R, D) replicas at once (one per domain), and
 	// recovery always reuses the lowest free slot, so slots beyond that
 	// count can never be occupied — they are not created.
@@ -229,12 +255,38 @@ func Build(p Params) (*Model, error) {
 		}
 	}
 
+	if canPartition {
+		m.PartitionA = s.Place("env.partition_a", 0)
+		m.PartitionB = s.Place("env.partition_b", 0)
+	}
+	if canCrew {
+		m.RepairBusy = s.Place("env.repair_busy", 0)
+		m.RepairIdle = s.Place("env.repair_idle", san.Marking(p.RepairCrew))
+		m.RepairInService = perApp("repair_in_service")
+	}
+
 	// ---- shared predicates and effect helpers -------------------------
 
 	// Manager quorum conditions: "less than a third of the currently
-	// active group members are corrupt" (Section 2).
+	// active group members are corrupt" (Section 2). An active network
+	// partition blocks the system-wide quorum entirely (a conservative
+	// reading: the global management group cannot certify a majority view
+	// while any two domains cannot talk); domain-local groups are
+	// unaffected because a partition severs only inter-domain links.
 	globalQuorumOK := func(st *san.State) bool {
+		if m.PartitionA != nil && st.Get(m.PartitionA) != 0 {
+			return false
+		}
 		return 3*st.Int(m.UndetMgrs) < st.Int(m.MgrsRunning)
+	}
+	// cutsDomain reports whether domain d sits on either side of the
+	// currently active partition.
+	cutsDomain := func(st *san.State, d int) bool {
+		if m.PartitionA == nil {
+			return false
+		}
+		pa := st.Int(m.PartitionA)
+		return pa != 0 && (pa == d+1 || st.Int(m.PartitionB) == d+1)
 	}
 	domainGroupOK := func(st *san.State, d int) bool {
 		return 3*st.Int(m.DomMgrsCorrupt[d]) < st.Int(m.DomMgrsUp[d])
@@ -495,15 +547,22 @@ func Build(p Params) (*Model, error) {
 			})
 		}
 		if canSpreadSys {
+			// A partition stops system-wide spread from originating in a
+			// severed domain: the attacker cannot reach across the cut.
+			sysReads := []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.PropSysDone[g]}
+			if canPartition {
+				sysReads = append(sysReads, m.PartitionA, m.PartitionB)
+			}
 			s.AddActivity(san.ActivityDef{
 				Name: hostScope + ".propagate_sys",
 				Kind: san.Timed,
 				Dist: func(*san.State) rng.Dist { return rng.Expo(p.SystemSpreadRate) },
 				Enabled: func(st *san.State) bool {
 					return st.Get(m.HostStatus[g]) > 0 &&
-						st.Get(m.HostExcluded[g]) == 0 && st.Get(m.PropSysDone[g]) == 0
+						st.Get(m.HostExcluded[g]) == 0 && st.Get(m.PropSysDone[g]) == 0 &&
+						!cutsDomain(st, d)
 				},
-				Reads: []*san.Place{m.HostStatus[g], m.HostExcluded[g], m.PropSysDone[g]},
+				Reads: sysReads,
 				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
 					ctx.State.Add(m.SpreadSys, 1)
 					ctx.State.Set(m.PropSysDone[g], 1)
@@ -662,12 +721,106 @@ func Build(p Params) (*Model, error) {
 		}
 	}
 
+	// ---- environment activities ------------------------------------------
+	// The Environment submodel injects correlated adversity: one partition
+	// at a time severing a uniformly chosen domain pair, and attack
+	// campaigns corrupting a Binomial(CampaignSize, CampaignProb) batch of
+	// hosts in a single firing. Both are gated out structurally when their
+	// rates are zero, so the paper's baseline net is unchanged.
+	if canPartition {
+		nPairs := D * (D - 1) / 2
+		s.AddActivity(san.ActivityDef{
+			Name:    "env.partition",
+			Kind:    san.Timed,
+			Dist:    func(*san.State) rng.Dist { return rng.Expo(p.PartitionRate) },
+			Enabled: func(st *san.State) bool { return st.Get(m.PartitionA) == 0 },
+			Reads:   []*san.Place{m.PartitionA},
+			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+				// Uniform over the D*(D-1)/2 unordered domain pairs,
+				// enumerated (0,1), (0,2), ..., (D-2,D-1). Excluded domains
+				// are legitimate targets too: the network does not know the
+				// management algorithm's exclusion state.
+				k := ctx.Choose(nPairs)
+				da := 0
+				for k >= D-1-da {
+					k -= D - 1 - da
+					da++
+				}
+				db := da + 1 + k
+				ctx.State.Set(m.PartitionA, san.Marking(da+1))
+				ctx.State.Set(m.PartitionB, san.Marking(db+1))
+			}}},
+		})
+		s.AddActivity(san.ActivityDef{
+			Name:    "env.partition_heal",
+			Kind:    san.Timed,
+			Dist:    func(*san.State) rng.Dist { return rng.Expo(p.PartitionHealRate) },
+			Enabled: func(st *san.State) bool { return st.Get(m.PartitionA) != 0 },
+			Reads:   []*san.Place{m.PartitionA},
+			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+				ctx.State.Set(m.PartitionA, 0)
+				ctx.State.Set(m.PartitionB, 0)
+			}}},
+		})
+	}
+	if canCampaign {
+		campaignReads := append([]*san.Place(nil), m.HostStatus...)
+		campaignReads = append(campaignReads, m.HostExcluded...)
+		bern := []float64{p.CampaignProb, 1 - p.CampaignProb}
+		classes := []float64{p.PScript, p.PExploratory, p.PInnovative}
+		s.AddActivity(san.ActivityDef{
+			Name: "env.campaign",
+			Kind: san.Timed,
+			Dist: func(*san.State) rng.Dist { return rng.Expo(p.CampaignRate) },
+			Enabled: func(st *san.State) bool {
+				for g := 0; g < nHosts; g++ {
+					if st.Get(m.HostStatus[g]) == 0 && st.Get(m.HostExcluded[g]) == 0 {
+						return true
+					}
+				}
+				return false
+			},
+			Reads: campaignReads,
+			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+				st := ctx.State
+				var eligible []int
+				for g := 0; g < nHosts; g++ {
+					if st.Get(m.HostStatus[g]) == 0 && st.Get(m.HostExcluded[g]) == 0 {
+						eligible = append(eligible, g)
+					}
+				}
+				k := p.CampaignSize
+				if len(eligible) <= k {
+					k = len(eligible)
+				} else {
+					// Partial Fisher–Yates: the first k entries become a
+					// uniform k-subset of the eligible hosts.
+					for i := 0; i < k; i++ {
+						j := i + ctx.Choose(len(eligible)-i)
+						eligible[i], eligible[j] = eligible[j], eligible[i]
+					}
+				}
+				for _, g := range eligible[:k] {
+					if ctx.ChooseWeighted(bern) != 0 {
+						continue
+					}
+					class := 1 + ctx.ChooseWeighted(classes)
+					st.Set(m.HostStatus[g], san.Marking(class))
+					recordIntrusion(st)
+				}
+			}}},
+		})
+	}
+
 	// ---- replica activities ----------------------------------------------
 	// Conservative dependency sets for activities whose host is dynamic.
 	allHostStatus := append([]*san.Place(nil), m.HostStatus...)
 	quorumReads := []*san.Place{m.UndetMgrs, m.MgrsRunning}
 	quorumReads = append(quorumReads, m.DomMgrsCorrupt...)
 	quorumReads = append(quorumReads, m.DomMgrsUp...)
+	if canPartition {
+		quorumReads = append(quorumReads, m.PartitionA)
+	}
 
 	for a := 0; a < A; a++ {
 		a := a
@@ -820,6 +973,9 @@ func Build(p Params) (*Model, error) {
 		recoveryReads = append(recoveryReads, m.DomExcluded...)
 		recoveryReads = append(recoveryReads, m.HasReplica[a]...)
 		recoveryReads = append(recoveryReads, m.HostExcluded...)
+		if canPartition {
+			recoveryReads = append(recoveryReads, m.PartitionA)
+		}
 		qualifying := func(st *san.State, d int) bool {
 			if st.Get(m.DomExcluded[d]) == 1 || st.Get(m.HasReplica[a][d]) == 1 {
 				return false
@@ -831,49 +987,93 @@ func Build(p Params) (*Model, error) {
 			}
 			return false
 		}
-		s.AddActivity(san.ActivityDef{
-			Name: fmt.Sprintf("app[%d].recovery", a),
-			Kind: san.Timed,
-			Dist: func(*san.State) rng.Dist { return rng.Expo(p.RecoveryRate) },
-			Enabled: func(st *san.State) bool {
-				if st.Get(m.NeedRecovery[a]) == 0 || !globalQuorumOK(st) {
-					return false
+		anyQualifying := func(st *san.State) bool {
+			for d := 0; d < D; d++ {
+				if qualifying(st, d) {
+					return true
 				}
-				for d := 0; d < D; d++ {
-					if qualifying(st, d) {
-						return true
-					}
+			}
+			return false
+		}
+		doRecovery := func(ctx *san.Context) {
+			st := ctx.State
+			var doms []int
+			for d := 0; d < D; d++ {
+				if qualifying(st, d) {
+					doms = append(doms, d)
 				}
-				return false
-			},
-			Reads: recoveryReads,
-			Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
-				st := ctx.State
-				var doms []int
-				for d := 0; d < D; d++ {
-					if qualifying(st, d) {
-						doms = append(doms, d)
-					}
+			}
+			d := doms[ctx.Choose(len(doms))]
+			g := chooseHost(ctx, d)
+			slot := -1
+			for r := 0; r < nSlots; r++ {
+				if st.Get(m.OnHost[a][r]) == 0 {
+					slot = r
+					break
 				}
-				d := doms[ctx.Choose(len(doms))]
-				g := chooseHost(ctx, d)
-				slot := -1
-				for r := 0; r < nSlots; r++ {
-					if st.Get(m.OnHost[a][r]) == 0 {
-						slot = r
-						break
-					}
-				}
-				if slot < 0 {
-					panic("core: recovery with no free replica slot")
-				}
-				st.Set(m.OnHost[a][slot], san.Marking(g+1))
-				st.Set(m.HasReplica[a][d], 1)
-				st.Add(m.NumReplicas[g], 1)
-				st.Add(m.Running[a], 1)
-				st.Add(m.NeedRecovery[a], -1)
-			}}},
-		})
+			}
+			if slot < 0 {
+				panic("core: recovery with no free replica slot")
+			}
+			st.Set(m.OnHost[a][slot], san.Marking(g+1))
+			st.Set(m.HasReplica[a][d], 1)
+			st.Add(m.NumReplicas[g], 1)
+			st.Add(m.Running[a], 1)
+			st.Add(m.NeedRecovery[a], -1)
+		}
+		if canCrew {
+			// Bounded repair capacity: a recovery first claims an idle crew
+			// member (instantaneous while one is free, below respond's
+			// priority so convictions settle first) and holds it for the
+			// whole exponential service. At most one crew member serves an
+			// application at a time, matching the unbounded model's
+			// serialized per-app recovery.
+			inService := m.RepairInService[a]
+			s.AddActivity(san.ActivityDef{
+				Name:     fmt.Sprintf("app[%d].repair_start", a),
+				Kind:     san.Instant,
+				Priority: 3,
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.NeedRecovery[a]) > 0 && st.Get(inService) == 0 &&
+						st.Get(m.RepairIdle) > 0 && globalQuorumOK(st) && anyQualifying(st)
+				},
+				Reads: append([]*san.Place{inService, m.RepairIdle}, recoveryReads...),
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					ctx.State.Set(inService, 1)
+					ctx.State.Add(m.RepairIdle, -1)
+					ctx.State.Add(m.RepairBusy, 1)
+				}}},
+			})
+			s.AddActivity(san.ActivityDef{
+				Name: fmt.Sprintf("app[%d].recovery", a),
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(p.RecoveryRate) },
+				Enabled: func(st *san.State) bool {
+					// The crew member stays claimed if every qualifying
+					// domain disappears mid-service; the timer resumes when
+					// one reappears.
+					return st.Get(inService) == 1 && globalQuorumOK(st) && anyQualifying(st)
+				},
+				Reads: append([]*san.Place{inService}, recoveryReads...),
+				Cases: []san.Case{{Prob: 1, Effect: func(ctx *san.Context) {
+					doRecovery(ctx)
+					ctx.State.Set(inService, 0)
+					ctx.State.Add(m.RepairIdle, 1)
+					ctx.State.Add(m.RepairBusy, -1)
+				}}},
+			})
+		} else {
+			s.AddActivity(san.ActivityDef{
+				Name: fmt.Sprintf("app[%d].recovery", a),
+				Kind: san.Timed,
+				Dist: func(*san.State) rng.Dist { return rng.Expo(p.RecoveryRate) },
+				Enabled: func(st *san.State) bool {
+					return st.Get(m.NeedRecovery[a]) > 0 && globalQuorumOK(st) && anyQualifying(st)
+				},
+				Reads: recoveryReads,
+				Cases: []san.Case{{Prob: 1, Effect: doRecovery}},
+			})
+		}
 	}
 
 	// ---- measure visibility and declared bounds --------------------------
@@ -894,6 +1094,15 @@ func Build(p Params) (*Model, error) {
 	s.Observe(m.NeedRecovery...)
 	for a := 0; a < A; a++ {
 		s.Observe(m.HasReplica[a]...)
+	}
+	// The partition places feed the Improper measure and the environment
+	// invariant monitors; the crew places feed the conservation invariant.
+	if canPartition {
+		s.Observe(m.PartitionA, m.PartitionB)
+	}
+	if canCrew {
+		s.Observe(m.RepairBusy, m.RepairIdle)
+		s.Observe(m.RepairInService...)
 	}
 
 	boundEach := func(ps []*san.Place, max san.Marking) {
@@ -939,6 +1148,15 @@ func Build(p Params) (*Model, error) {
 	boundEach(m.Undet, san.Marking(k))
 	boundEach(m.GrpFail, 1)
 	boundEach(m.NeedRecovery, san.Marking(k))
+	if canPartition {
+		s.Bound(m.PartitionA, san.Marking(D))
+		s.Bound(m.PartitionB, san.Marking(D))
+	}
+	if canCrew {
+		s.Bound(m.RepairBusy, san.Marking(p.RepairCrew))
+		s.Bound(m.RepairIdle, san.Marking(p.RepairCrew))
+		boundEach(m.RepairInService, 1)
+	}
 	for a := 0; a < A; a++ {
 		boundEach(m.HasReplica[a], 1)
 		boundEach(m.OnHost[a], san.Marking(nHosts)) // stores flattened host + 1

@@ -184,6 +184,46 @@ type Params struct {
 	// finite. Simulation of an Analytic model is still valid and agrees
 	// with the non-Analytic one on every measure.
 	Analytic bool
+
+	// Environment faults (all zero by default, reproducing the paper's
+	// independent-intrusion world exactly — see DESIGN.md "Environment
+	// faults"). The Environment submodel adds correlated adversity on top
+	// of the per-entity attack processes.
+
+	// PartitionRate is the rate at which the network severs one uniformly
+	// chosen pair of security domains. At most one partition is active at
+	// a time; while severed, management quorums are blocked (no
+	// convictions, exclusions, or recoveries complete) and system-wide
+	// attack spread cannot originate from either side of the cut. A
+	// positive rate requires PartitionHealRate > 0 and NumDomains >= 2.
+	PartitionRate float64
+	// PartitionHealRate is the reciprocal mean duration of a partition
+	// (exponential healing time).
+	PartitionHealRate float64
+
+	// CampaignRate is the rate of correlated attack campaigns. Each
+	// firing picks min(CampaignSize, eligible) distinct uncorrupted,
+	// unexcluded hosts uniformly and corrupts each independently with
+	// probability CampaignProb — a Binomial(k, p) batch compromise in one
+	// event. Corrupted hosts draw an attack class from the usual
+	// PScript/PExploratory/PInnovative mix; spread and detection then
+	// follow the ordinary per-host machinery.
+	CampaignRate float64
+	// CampaignSize is the number of hosts targeted per campaign firing
+	// (the Binomial k). Must be >= 1 when CampaignRate > 0.
+	CampaignSize int
+	// CampaignProb is the per-target compromise probability (the Binomial
+	// p). Must be in (0, 1] when CampaignRate > 0.
+	CampaignProb float64
+
+	// RepairCrew, when positive, bounds the management infrastructure's
+	// restart capacity: a pool of RepairCrew repair servers, each able to
+	// serve one application's recovery at a time. A recovery must first
+	// claim an idle crew member (instantaneous when one is free) and
+	// holds it for the whole exponential RecoveryRate service; the model
+	// maintains the conservation law busy + idle = RepairCrew. Zero means
+	// unbounded repair capacity (the paper's implicit assumption).
+	RepairCrew int
 }
 
 // DefaultParams returns the paper's baseline configuration (Section 4):
@@ -258,6 +298,16 @@ func (p Params) Validate() error {
 	add(p.RecoveryRate <= 0, "RecoveryRate must be > 0")
 	add(p.RateBaseHosts < 0 || p.RateBaseReplicas < 0, "rate base counts must be >= 0")
 	add(p.Placement < UniformPlacement || p.Placement > WeightedRandomPlacement, "invalid Placement %d", int(p.Placement))
+	add(p.PartitionRate < 0, "PartitionRate must be >= 0")
+	add(p.PartitionHealRate < 0, "PartitionHealRate must be >= 0")
+	add(p.PartitionRate > 0 && p.PartitionHealRate <= 0, "PartitionRate > 0 requires PartitionHealRate > 0")
+	add(p.PartitionRate > 0 && p.NumDomains < 2, "PartitionRate > 0 requires NumDomains >= 2")
+	add(p.CampaignRate < 0, "CampaignRate must be >= 0")
+	add(p.CampaignSize < 0, "CampaignSize must be >= 0")
+	add(p.CampaignProb < 0 || p.CampaignProb > 1, "CampaignProb must be in [0,1], got %v", p.CampaignProb)
+	add(p.CampaignRate > 0 && p.CampaignSize < 1, "CampaignRate > 0 requires CampaignSize >= 1")
+	add(p.CampaignRate > 0 && p.CampaignProb <= 0, "CampaignRate > 0 requires CampaignProb > 0")
+	add(p.RepairCrew < 0, "RepairCrew must be >= 0")
 	return errors.Join(errs...)
 }
 

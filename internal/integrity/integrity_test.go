@@ -115,6 +115,73 @@ func TestITUAInvariantsDetectTampering(t *testing.T) {
 	}
 }
 
+// faultParams enables the full environment-fault vocabulary — partitions,
+// correlated attack campaigns, and a bounded repair crew — on a given base.
+func faultParams(p core.Params) core.Params {
+	p.PartitionRate = 2
+	p.PartitionHealRate = 2
+	p.CampaignRate = 0.5
+	p.CampaignSize = 2
+	p.CampaignProb = 0.5
+	p.RepairCrew = 1
+	return p
+}
+
+// The environment monitor must reject states violating the partition
+// pairing law or the repair-crew conservation law, and a fault-enabled
+// model must survive the monitor over full replications.
+func TestEnvironmentInvariant(t *testing.T) {
+	p := faultParams(baseParams(core.DomainExclusion))
+	m, err := core.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env *sim.Invariant
+	for _, iv := range ITUAInvariants(m) {
+		if iv.Name == "environment-accounting" {
+			iv := iv
+			env = &iv
+		}
+	}
+	if env == nil {
+		t.Fatal("fault-enabled model has no environment-accounting monitor")
+	}
+	cases := []struct {
+		name   string
+		tamper func(s *san.State)
+	}{
+		{"half-partition", func(s *san.State) { s.Set(m.PartitionA, 1) }},
+		{"self-partition", func(s *san.State) { s.Set(m.PartitionA, 2); s.Set(m.PartitionB, 2) }},
+		{"crew-leak", func(s *san.State) { s.Add(m.RepairIdle, -1) }},
+		{"crew-phantom", func(s *san.State) { s.Add(m.RepairBusy, 1); s.Add(m.RepairIdle, -1) }},
+	}
+	for _, c := range cases {
+		s := cleanState(t, m)
+		if err := env.Check(s); err != nil {
+			t.Fatalf("%s: monitor rejects the clean initial state: %v", c.name, err)
+		}
+		c.tamper(s)
+		if err := env.Check(s); err == nil {
+			t.Errorf("%s: monitor accepted the tampered state", c.name)
+		}
+	}
+
+	// Clean fault-enabled replications must survive the full monitor set.
+	res, err := sim.Run(sim.Spec{
+		Model: m.SAN, Until: 6, Reps: 40, Seed: 7,
+		Vars:           []reward.Var{m.Unavailability("unavail", 0, 0, 6)},
+		Invariants:     ITUAInvariants(m),
+		InvariantEvery: 1,
+		MaxFailureFrac: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d fault-enabled replications violated invariants: %v", res.Failed, res.Failures[0])
+	}
+}
+
 // cleanState reproduces the initial stable configuration the engine would
 // start a replication from, by running one zero-length replication and
 // rebuilding the placement through the model's own init hook via sim.
@@ -236,6 +303,81 @@ func TestCrossCheckLive(t *testing.T) {
 	}
 	if !report.Agree() {
 		t.Errorf("four-arm cross-check disagrees:\n%s", report)
+	}
+}
+
+// TestCrossCheckFaults runs the four-arm cross-check with the environment
+// faults enabled on the exact-tractable configuration: network partitions,
+// correlated attack campaigns, and a bounded repair crew all active. Every
+// engine — SAN, direct, live, and the uniformization solver — must land in
+// the same confidence region, and the live probes must still match the
+// model oracle event for event (the oracle's improper predicate includes
+// partition blocking).
+func TestCrossCheckFaults(t *testing.T) {
+	p := core.DefaultParams()
+	p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp = 2, 1, 1, 2
+	p = faultParams(p)
+	report, err := CrossCheck(context.Background(), p, CrossCheckOptions{
+		Reps: 300, LiveReps: 120, Seed: 37, Live: true, Exact: true, ExactMaxStates: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", report)
+	for _, m := range report.Measures {
+		if !m.HasLive || !m.HasExact {
+			t.Fatalf("%s: live=%v exact=%v, want both arms", m.Name, m.HasLive, m.HasExact)
+		}
+	}
+	if report.LiveDivergences != 0 {
+		t.Errorf("%d of %d live probes diverged from the model oracle", report.LiveDivergences, report.LiveProbes)
+	}
+	if !report.Agree() {
+		t.Errorf("fault-enabled four-arm cross-check disagrees:\n%s", report)
+	}
+}
+
+// TestCrossCheckFaultsFull is the heavyweight fault validation behind
+// `make faultcheck`: the four-arm check at higher replication counts, plus
+// a larger SAN-vs-direct topology where the exact and live arms are ruled
+// out (state space, and the model's partition-relay approximation under
+// f >= 1 Byzantine budgets). Gated on FAULTCHECK_FULL=1.
+func TestCrossCheckFaultsFull(t *testing.T) {
+	if os.Getenv("FAULTCHECK_FULL") == "" {
+		t.Skip("set FAULTCHECK_FULL=1 to run the full environment-fault validation")
+	}
+	p := core.DefaultParams()
+	p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp = 2, 1, 1, 2
+	p = faultParams(p)
+	report, err := CrossCheck(context.Background(), p, CrossCheckOptions{
+		Reps: 2000, LiveReps: 1000, Seed: 41, Live: true, Exact: true, ExactMaxStates: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", report)
+	if report.LiveDivergences != 0 {
+		t.Errorf("%d of %d live probes diverged from the model oracle", report.LiveDivergences, report.LiveProbes)
+	}
+	if !report.Agree() {
+		t.Errorf("fault-enabled four-arm cross-check disagrees:\n%s", report)
+	}
+
+	for _, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
+		p := core.DefaultParams()
+		p.NumDomains, p.HostsPerDomain, p.NumApps, p.RepsPerApp = 4, 2, 1, 4
+		p.Policy = policy
+		p = faultParams(p)
+		report, err := CrossCheck(context.Background(), p, CrossCheckOptions{
+			Reps: 2000, Seed: 43,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		t.Logf("\n%s", report)
+		if !report.Agree() {
+			t.Errorf("%s: engines disagree under environment faults:\n%s", policy, report)
+		}
 	}
 }
 

@@ -194,5 +194,47 @@ func ITUAInvariants(m *core.Model) []sim.Invariant {
 		},
 	}
 
-	return []sim.Invariant{replicas, placement, managers, exclusions, DeclaredBounds(m.SAN)}
+	inv := []sim.Invariant{replicas, placement, managers, exclusions}
+	if m.PartitionA != nil || m.RepairIdle != nil {
+		inv = append(inv, environmentInvariant(m))
+	}
+	return append(inv, DeclaredBounds(m.SAN))
+}
+
+// environmentInvariant checks the environment submodel's conservation laws:
+// a partition is either absent (both endpoint places zero) or severs two
+// distinct domains, and the bounded repair crew conserves its capacity
+// (busy + idle = RepairCrew, with busy equal to the number of applications
+// holding a crew member in service). Only installed when the model has the
+// corresponding environment features.
+func environmentInvariant(m *core.Model) sim.Invariant {
+	crew := m.Params.RepairCrew
+	return sim.Invariant{
+		Name: "environment-accounting",
+		Check: func(s *san.State) error {
+			if m.PartitionA != nil {
+				a, b := s.Int(m.PartitionA), s.Int(m.PartitionB)
+				if (a == 0) != (b == 0) {
+					return fmt.Errorf("partition endpoints %d,%d: one severed domain without the other", a, b)
+				}
+				if a != 0 && a == b {
+					return fmt.Errorf("partition severs domain %d from itself", a-1)
+				}
+			}
+			if m.RepairIdle != nil {
+				busy, idle := s.Int(m.RepairBusy), s.Int(m.RepairIdle)
+				if busy+idle != crew {
+					return fmt.Errorf("repair crew busy %d + idle %d != capacity %d", busy, idle, crew)
+				}
+				inService := 0
+				for _, p := range m.RepairInService {
+					inService += s.Int(p)
+				}
+				if busy != inService {
+					return fmt.Errorf("repair crew busy %d, but %d applications hold a crew member", busy, inService)
+				}
+			}
+			return nil
+		},
+	}
 }

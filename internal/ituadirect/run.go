@@ -18,6 +18,36 @@ func (s *process) collect(buf []transition) []transition {
 	buf = buf[:0]
 	p := s.p
 
+	// Environment faults: a single partition severing a uniformly chosen
+	// domain pair, and correlated attack campaigns corrupting a
+	// Binomial(CampaignSize, CampaignProb) batch of eligible hosts.
+	if p.PartitionRate > 0 && p.PartitionHealRate > 0 && len(s.domExcluded) > 1 {
+		if s.partA < 0 {
+			buf = append(buf, transition{p.PartitionRate, func() {
+				D := len(s.domExcluded)
+				k := s.envRand().Choose(D * (D - 1) / 2)
+				da := 0
+				for k >= D-1-da {
+					k -= D - 1 - da
+					da++
+				}
+				s.partA, s.partB = da, da+1+k
+			}})
+		} else {
+			buf = append(buf, transition{p.PartitionHealRate, func() {
+				s.partA, s.partB = -1, -1
+			}})
+		}
+	}
+	if p.CampaignRate > 0 && p.CampaignSize > 0 && p.CampaignProb > 0 {
+		for g := range s.hostStatus {
+			if s.hostStatus[g] == 0 && !s.hostExcluded[g] {
+				buf = append(buf, transition{p.CampaignRate, func() { s.campaign() }})
+				break
+			}
+		}
+	}
+
 	for g := range s.hostStatus {
 		g := g
 		if s.hostExcluded[g] {
@@ -41,7 +71,8 @@ func (s *process) collect(buf []transition) []transition {
 				s.spreadDom[d]++
 			}})
 		}
-		if s.hostStatus[g] > 0 && !s.propSysDone[g] && p.SystemSpreadRate > 0 {
+		if s.hostStatus[g] > 0 && !s.propSysDone[g] && p.SystemSpreadRate > 0 &&
+			!s.cutsDomain(d) {
 			buf = append(buf, transition{p.SystemSpreadRate, func() {
 				s.propSysDone[g] = true
 				s.spreadSys++
@@ -144,14 +175,56 @@ func (s *process) collect(buf []transition) []transition {
 			}
 		}
 
-		// Recovery of one killed replica.
-		if s.needRec[a] > 0 && s.globalQuorumOK() && s.qualifyingDomainExists(a) {
+		// Recovery of one killed replica. With a bounded repair crew the
+		// exponential service runs only while a crew member is claimed for
+		// this app (claims happen instantaneously in drainCrew); unbounded
+		// otherwise.
+		if p.RepairCrew > 0 {
+			if s.inService[a] && s.globalQuorumOK() && s.qualifyingDomainExists(a) {
+				buf = append(buf, transition{p.RecoveryRate, func() {
+					s.recover(a)
+					s.inService[a] = false
+					s.crewBusy--
+				}})
+			}
+		} else if s.needRec[a] > 0 && s.globalQuorumOK() && s.qualifyingDomainExists(a) {
 			buf = append(buf, transition{p.RecoveryRate, func() {
 				s.recover(a)
 			}})
 		}
 	}
 	return buf
+}
+
+// campaign corrupts a Binomial(CampaignSize, CampaignProb) batch of
+// uniformly chosen eligible (uncorrupted, unexcluded) hosts in one event,
+// mirroring core's env.campaign activity.
+func (s *process) campaign() {
+	var eligible []int
+	for g := range s.hostStatus {
+		if s.hostStatus[g] == 0 && !s.hostExcluded[g] {
+			eligible = append(eligible, g)
+		}
+	}
+	rs := s.envRand()
+	k := s.p.CampaignSize
+	if len(eligible) <= k {
+		k = len(eligible)
+	} else {
+		// Partial Fisher–Yates: the first k entries become a uniform
+		// k-subset of the eligible hosts.
+		for i := 0; i < k; i++ {
+			j := i + rs.Choose(len(eligible)-i)
+			eligible[i], eligible[j] = eligible[j], eligible[i]
+		}
+	}
+	for _, g := range eligible[:k] {
+		if !rs.Bernoulli(s.p.CampaignProb) {
+			continue
+		}
+		s.hostStatus[g] = 1 + rs.Category(s.pClass[:])
+		s.intrusions++
+	}
 }
 
 // convict marks the replica convicted and applies the pending response
@@ -184,13 +257,34 @@ func (s *process) respondIfAble(a, r int) {
 }
 
 // drainPending retries responses for convicted replicas that were blocked
-// on manager quorum.
+// on manager quorum, then lets the repair crew claim any newly serviceable
+// recoveries.
 func (s *process) drainPending() {
 	for a := range s.onHost {
 		for r := range s.onHost[a] {
 			if s.repConvicted[a][r] && s.onHost[a][r] >= 0 {
 				s.respondIfAble(a, r)
 			}
+		}
+	}
+	s.drainCrew()
+}
+
+// drainCrew assigns idle repair-crew members to applications with pending,
+// serviceable recoveries, in app order (mirroring core's instantaneous
+// repair_start activity). At most one crew member serves an app at a time.
+func (s *process) drainCrew() {
+	if s.p.RepairCrew == 0 {
+		return
+	}
+	for a := range s.inService {
+		if s.crewBusy >= s.p.RepairCrew {
+			return
+		}
+		if !s.inService[a] && s.needRec[a] > 0 && s.globalQuorumOK() &&
+			s.qualifyingDomainExists(a) {
+			s.inService[a] = true
+			s.crewBusy++
 		}
 	}
 }

@@ -47,6 +47,7 @@ type process struct {
 	crn          bool
 	timeStream   *rng.Stream
 	selectStream *rng.Stream
+	envStream    *rng.Stream
 	hostRoles    []*rng.Stream
 	mgrRoles     []*rng.Stream
 	repRoles     [][]*rng.Stream
@@ -86,6 +87,15 @@ type process struct {
 
 	exclEvents      int
 	exclCorruptFrac float64 // sum of per-exclusion corrupt fractions
+
+	// Environment faults (mirroring core's Environment submodel). partA
+	// and partB are the severed domains of the single active partition
+	// (-1 = healed); inService[a] is true while a repair-crew member
+	// serves app a's recovery, and crewBusy counts claimed members
+	// (crewBusy = Σ inService, crewBusy <= Params.RepairCrew).
+	partA, partB int
+	inService    []bool
+	crewBusy     int
 }
 
 // Result collects one replication's measures for the measured application
@@ -158,6 +168,9 @@ func newSim(p core.Params, rs *rng.Stream, o Opts) *process {
 		undet:        make([]int, A),
 		grpFail:      make([]bool, A),
 		needRec:      make([]int, A),
+		partA:        -1,
+		partB:        -1,
+		inService:    make([]bool, A),
 	}
 	// Per-entity rates: recompute the same division core.Params performs,
 	// but independently (from the documented semantics, not shared code
@@ -189,6 +202,7 @@ func newSim(p core.Params, rs *rng.Stream, o Opts) *process {
 		s.crn = true
 		s.timeStream = rs.RoleNamed("__time__")
 		s.selectStream = rs.RoleNamed("__select__")
+		s.envStream = rs.RoleNamed("__env__")
 		s.hostRoles = make([]*rng.Stream, n)
 		s.mgrRoles = make([]*rng.Stream, n)
 		for g := 0; g < n; g++ {
@@ -282,6 +296,13 @@ func (s *process) selectRand() *rng.Stream {
 	return s.rs
 }
 
+func (s *process) envRand() *rng.Stream {
+	if s.crn {
+		return s.envStream
+	}
+	return s.rs
+}
+
 // hostLoad counts the replicas currently running on host g.
 func (s *process) hostLoad(g int) int {
 	n := 0
@@ -356,7 +377,19 @@ func (s *process) undetMgrs() int {
 }
 
 func (s *process) globalQuorumOK() bool {
+	// An active partition blocks the system-wide management quorum (the
+	// same conservative reading as core: no global majority view while
+	// any two domains cannot talk).
+	if s.partA >= 0 {
+		return false
+	}
 	return 3*s.undetMgrs() < s.mgrsRunning()
+}
+
+// cutsDomain reports whether domain d is on either side of the active
+// partition.
+func (s *process) cutsDomain(d int) bool {
+	return s.partA >= 0 && (d == s.partA || d == s.partB)
 }
 
 func (s *process) domainGroupOK(d int) bool {
@@ -375,7 +408,31 @@ func (s *process) domainGroupOK(d int) bool {
 }
 
 func (s *process) improper(a int) bool {
-	return 3*s.undet[a] >= s.running[a]
+	if 3*s.undet[a] >= s.running[a] {
+		return true
+	}
+	// A partition makes service improper when the whole replica group
+	// straddles the cut: every running replica is in one of the severed
+	// domains with at least one on each side, so no relay path exists and
+	// neither side holds a response majority (mirrors core.Model.Improper).
+	if s.partA < 0 {
+		return false
+	}
+	sawA, sawB := false, false
+	for _, g := range s.onHost[a] {
+		if g < 0 {
+			continue
+		}
+		switch s.domainOf(g) {
+		case s.partA:
+			sawA = true
+		case s.partB:
+			sawB = true
+		default:
+			return false
+		}
+	}
+	return sawA && sawB
 }
 
 func (s *process) checkByzantine(a int) {

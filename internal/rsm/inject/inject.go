@@ -41,6 +41,13 @@ type Hooks struct {
 	KillReplica func(app, slot int)
 	// ExcludeHost fires when host g is excluded from the system.
 	ExcludeHost func(host int)
+	// Partition fires when the environment severs domains domA and domB
+	// (at most one partition is active at a time); the live transport
+	// should drop traffic between hosts of the two domains.
+	Partition func(domA, domB int)
+	// Heal fires when the active partition heals; the live transport
+	// should restore all links.
+	Heal func()
 }
 
 // Member is the injector's view of one placed replica of an application.
@@ -89,7 +96,20 @@ type Process struct {
 	running []int
 	undet   []int
 	grpFail []bool
-	needRec []int
+	// grpFailBlocked records, per app, whether grpFail latched while the
+	// partition isolated the group (partitionIsolated): in that state the
+	// model declares Byzantine failure on corruption share alone, but no
+	// forged quorum can actually form live until the cut heals.
+	grpFailBlocked []bool
+	needRec        []int
+
+	// Environment faults, mirroring ituadirect: partA/partB are the
+	// severed domains of the single active partition (-1 = healed);
+	// inService[a] is true while a repair-crew member serves app a, and
+	// crewBusy = Σ inService <= Params.RepairCrew.
+	partA, partB int
+	inService    []bool
+	crewBusy     int
 
 	buf []transition
 }
@@ -109,20 +129,24 @@ func New(p core.Params, rs *rng.Stream, h Hooks) (*Process, error) {
 	n := D * H
 	s := &Process{
 		p: p, rs: rs, h: h,
-		hostStatus:   make([]int, n),
-		hostExcluded: make([]bool, n),
-		hostDetected: make([]bool, n),
-		propDomDone:  make([]bool, n),
-		propSysDone:  make([]bool, n),
-		mgrCorrupt:   make([]bool, n),
-		mgrRemoved:   make([]bool, n),
-		mgrDetected:  make([]bool, n),
-		domExcluded:  make([]bool, D),
-		spreadDom:    make([]int, D),
-		running:      make([]int, A),
-		undet:        make([]int, A),
-		grpFail:      make([]bool, A),
-		needRec:      make([]int, A),
+		hostStatus:     make([]int, n),
+		hostExcluded:   make([]bool, n),
+		hostDetected:   make([]bool, n),
+		propDomDone:    make([]bool, n),
+		propSysDone:    make([]bool, n),
+		mgrCorrupt:     make([]bool, n),
+		mgrRemoved:     make([]bool, n),
+		mgrDetected:    make([]bool, n),
+		domExcluded:    make([]bool, D),
+		spreadDom:      make([]int, D),
+		running:        make([]int, A),
+		undet:          make([]int, A),
+		grpFail:        make([]bool, A),
+		grpFailBlocked: make([]bool, A),
+		needRec:        make([]int, A),
+		partA:          -1,
+		partB:          -1,
+		inService:      make([]bool, A),
 	}
 	wSum := p.AttackSplitHost + p.AttackSplitReplica + p.AttackSplitMgr
 	hosts := float64(n)
@@ -231,12 +255,64 @@ func (s *Process) Undet(a int) int { return s.undet[a] }
 
 // Improper is the model's unavailability predicate for app a in the current
 // state: at least one third of the running replicas corrupt undetected
-// (vacuously true with zero replicas running).
-func (s *Process) Improper(a int) bool { return 3*s.undet[a] >= s.running[a] }
+// (vacuously true with zero replicas running), or an active partition
+// isolating the whole replica group across the cut — every running replica
+// in one of the severed domains with at least one on each side, so no
+// relay path exists and neither side holds a response majority.
+func (s *Process) Improper(a int) bool {
+	return 3*s.undet[a] >= s.running[a] || s.partitionIsolated(a)
+}
+
+// partitionIsolated reports whether the active partition splits app a's
+// placed replicas across the cut with none outside it: no relay path
+// exists and neither side holds a response majority.
+func (s *Process) partitionIsolated(a int) bool {
+	if s.partA < 0 {
+		return false
+	}
+	sawA, sawB := false, false
+	for _, g := range s.onHost[a] {
+		if g < 0 {
+			continue
+		}
+		switch s.domainOf(g) {
+		case s.partA:
+			sawA = true
+		case s.partB:
+			sawB = true
+		default:
+			return false
+		}
+	}
+	return sawA && sawB
+}
+
+// Partitioned returns the severed domain pair of the active partition, or
+// ok = false while the network is healed.
+func (s *Process) Partitioned() (domA, domB int, ok bool) {
+	if s.partA < 0 {
+		return 0, 0, false
+	}
+	return s.partA, s.partB, true
+}
+
+// CrewBusy returns the number of claimed repair-crew members (always zero
+// with Params.RepairCrew == 0, i.e. unbounded repair capacity).
+func (s *Process) CrewBusy() int { return s.crewBusy }
 
 // Byzantine reports whether app a has latched the model's Byzantine-failure
 // flag (undetected corrupt replicas reached one third while nonzero).
 func (s *Process) Byzantine(a int) bool { return s.grpFail[a] }
+
+// ByzantineBlocked reports whether app a's Byzantine latch fired while the
+// partition isolated the group. The model latches on corruption share
+// alone (state-based, like the SAN and direct engines), but in that
+// geometry the colluders cannot reach the correct replicas to force a
+// forged delivery, so the live service may legitimately never certify a
+// wrong answer — the one environment-induced case where the model's
+// unreliability bounds the measured value from above instead of equalling
+// it.
+func (s *Process) ByzantineBlocked(a int) bool { return s.grpFailBlocked[a] }
 
 // FracDomainsExcluded is the model's excluded-domain fraction measure
 // (zero under host exclusion, as in the paper).
@@ -324,7 +400,20 @@ func (s *Process) undetMgrs() int {
 	return n
 }
 
-func (s *Process) globalQuorumOK() bool { return 3*s.undetMgrs() < s.mgrsRunning() }
+func (s *Process) globalQuorumOK() bool {
+	// An active partition blocks the system-wide management quorum,
+	// mirroring core and ituadirect.
+	if s.partA >= 0 {
+		return false
+	}
+	return 3*s.undetMgrs() < s.mgrsRunning()
+}
+
+// cutsDomain reports whether domain d is on either side of the active
+// partition.
+func (s *Process) cutsDomain(d int) bool {
+	return s.partA >= 0 && (d == s.partA || d == s.partB)
+}
 
 func (s *Process) domainGroupOK(d int) bool {
 	H := s.p.HostsPerDomain
@@ -342,8 +431,9 @@ func (s *Process) domainGroupOK(d int) bool {
 }
 
 func (s *Process) checkByzantine(a int) {
-	if s.undet[a] > 0 && 3*s.undet[a] >= s.running[a] {
+	if s.undet[a] > 0 && 3*s.undet[a] >= s.running[a] && !s.grpFail[a] {
 		s.grpFail[a] = true
+		s.grpFailBlocked[a] = s.partitionIsolated(a)
 	}
 }
 
@@ -361,6 +451,42 @@ func (s *Process) assetBoost(d int) float64 {
 func (s *Process) collect(buf []transition) []transition {
 	buf = buf[:0]
 	p := s.p
+
+	// Environment faults (mirroring ituadirect): one partition at a time
+	// over a uniformly chosen domain pair, and Binomial(k, p) campaign
+	// batches over eligible hosts.
+	if p.PartitionRate > 0 && p.PartitionHealRate > 0 && len(s.domExcluded) > 1 {
+		if s.partA < 0 {
+			buf = append(buf, transition{p.PartitionRate, func() {
+				D := len(s.domExcluded)
+				k := s.rs.Choose(D * (D - 1) / 2)
+				da := 0
+				for k >= D-1-da {
+					k -= D - 1 - da
+					da++
+				}
+				s.partA, s.partB = da, da+1+k
+				if s.h.Partition != nil {
+					s.h.Partition(s.partA, s.partB)
+				}
+			}})
+		} else {
+			buf = append(buf, transition{p.PartitionHealRate, func() {
+				s.partA, s.partB = -1, -1
+				if s.h.Heal != nil {
+					s.h.Heal()
+				}
+			}})
+		}
+	}
+	if p.CampaignRate > 0 && p.CampaignSize > 0 && p.CampaignProb > 0 {
+		for g := range s.hostStatus {
+			if s.hostStatus[g] == 0 && !s.hostExcluded[g] {
+				buf = append(buf, transition{p.CampaignRate, func() { s.campaign() }})
+				break
+			}
+		}
+	}
 
 	for g := range s.hostStatus {
 		g := g
@@ -383,7 +509,8 @@ func (s *Process) collect(buf []transition) []transition {
 				s.spreadDom[d]++
 			}})
 		}
-		if s.hostStatus[g] > 0 && !s.propSysDone[g] && p.SystemSpreadRate > 0 {
+		if s.hostStatus[g] > 0 && !s.propSysDone[g] && p.SystemSpreadRate > 0 &&
+			!s.cutsDomain(d) {
 			buf = append(buf, transition{p.SystemSpreadRate, func() {
 				s.propSysDone[g] = true
 				s.spreadSys++
@@ -480,13 +607,51 @@ func (s *Process) collect(buf []transition) []transition {
 			}
 		}
 
-		if s.needRec[a] > 0 && s.globalQuorumOK() && s.qualifyingDomainExists(a) {
+		// With a bounded repair crew the exponential recovery service runs
+		// only while a crew member is claimed (claims happen in drainCrew);
+		// unbounded otherwise.
+		if p.RepairCrew > 0 {
+			if s.inService[a] && s.globalQuorumOK() && s.qualifyingDomainExists(a) {
+				buf = append(buf, transition{p.RecoveryRate, func() {
+					s.recoverOne(a)
+					s.inService[a] = false
+					s.crewBusy--
+				}})
+			}
+		} else if s.needRec[a] > 0 && s.globalQuorumOK() && s.qualifyingDomainExists(a) {
 			buf = append(buf, transition{p.RecoveryRate, func() {
 				s.recoverOne(a)
 			}})
 		}
 	}
 	return buf
+}
+
+// campaign corrupts a Binomial(CampaignSize, CampaignProb) batch of
+// uniformly chosen eligible (uncorrupted, unexcluded) hosts in one event.
+func (s *Process) campaign() {
+	var eligible []int
+	for g := range s.hostStatus {
+		if s.hostStatus[g] == 0 && !s.hostExcluded[g] {
+			eligible = append(eligible, g)
+		}
+	}
+	k := s.p.CampaignSize
+	if len(eligible) <= k {
+		k = len(eligible)
+	} else {
+		for i := 0; i < k; i++ {
+			j := i + s.rs.Choose(len(eligible)-i)
+			eligible[i], eligible[j] = eligible[j], eligible[i]
+		}
+	}
+	for _, g := range eligible[:k] {
+		if !s.rs.Bernoulli(s.p.CampaignProb) {
+			continue
+		}
+		s.hostStatus[g] = 1 + s.rs.Category(s.pClass[:])
+		s.intrusions++
+	}
 }
 
 func (s *Process) convict(a, r int) {
@@ -521,6 +686,25 @@ func (s *Process) drainPending() {
 			if s.repConvicted[a][r] && s.onHost[a][r] >= 0 {
 				s.respondIfAble(a, r)
 			}
+		}
+	}
+	s.drainCrew()
+}
+
+// drainCrew assigns idle repair-crew members to applications with pending,
+// serviceable recoveries, in app order (at most one member per app).
+func (s *Process) drainCrew() {
+	if s.p.RepairCrew == 0 {
+		return
+	}
+	for a := range s.inService {
+		if s.crewBusy >= s.p.RepairCrew {
+			return
+		}
+		if !s.inService[a] && s.needRec[a] > 0 && s.globalQuorumOK() &&
+			s.qualifyingDomainExists(a) {
+			s.inService[a] = true
+			s.crewBusy++
 		}
 	}
 }

@@ -91,6 +91,12 @@ func (m *Model) Params() (core.Params, error) {
 	set(&p.CorruptionMult, m.CorruptionMult)
 	set(&p.MisbehaveRate, m.MisbehaveRate)
 	set(&p.RecoveryRate, m.RecoveryRate)
+	set(&p.PartitionRate, m.PartitionRate)
+	set(&p.PartitionHealRate, m.PartitionHealRate)
+	set(&p.CampaignRate, m.CampaignRate)
+	set(&p.CampaignProb, m.CampaignProb)
+	p.CampaignSize = m.CampaignSize
+	p.RepairCrew = m.RepairCrew
 	p.RateBaseHosts = m.RateBaseHosts
 	p.RateBaseReplicas = m.RateBaseReplicas
 	p.ExcludeOnReplicaConviction = m.ExcludeOnReplicaConviction
@@ -132,6 +138,12 @@ var axisParams = map[string]axisParam{
 	"corruptionMult":      numAxis(func(p *core.Params, v float64) { p.CorruptionMult = v }),
 	"misbehaveRate":       numAxis(func(p *core.Params, v float64) { p.MisbehaveRate = v }),
 	"recoveryRate":        numAxis(func(p *core.Params, v float64) { p.RecoveryRate = v }),
+	"partitionRate":       numAxis(func(p *core.Params, v float64) { p.PartitionRate = v }),
+	"partitionHealRate":   numAxis(func(p *core.Params, v float64) { p.PartitionHealRate = v }),
+	"campaignRate":        numAxis(func(p *core.Params, v float64) { p.CampaignRate = v }),
+	"campaignProb":        numAxis(func(p *core.Params, v float64) { p.CampaignProb = v }),
+	"campaignSize":        intAxis(func(p *core.Params, v int) { p.CampaignSize = v }),
+	"repairCrew":          intAxis(func(p *core.Params, v int) { p.RepairCrew = v }),
 
 	"policy": {
 		enum:      true,

@@ -12,7 +12,7 @@ import (
 // same hash) — the invariant the content-addressed result cache depends
 // on. Run continuously via `make fuzz-smoke`.
 func FuzzParse(f *testing.F) {
-	for _, name := range []string{"fig5.json", "fig5.yaml", "analytic.json", "live.json"} {
+	for _, name := range []string{"fig5.json", "fig5.yaml", "analytic.json", "live.json", "faults.json", "faults.yaml"} {
 		if data, err := os.ReadFile(filepath.Join(exemplarDir, name)); err == nil {
 			f.Add(data)
 		}

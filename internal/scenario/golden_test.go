@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"testing"
 
 	"ituaval/internal/core"
@@ -44,6 +45,12 @@ func TestGoldenShapes(t *testing.T) {
 		}},
 		{"live.json", "live", func(pt Point) string {
 			return fmt.Sprintf("spread=%g", pt.X)
+		}},
+		{"faults.json", "faults", func(pt Point) string {
+			return fmt.Sprintf("camp=%g,part=%g", pt.Params.CampaignRate, pt.X)
+		}},
+		{"faults.yaml", "faults", func(pt Point) string {
+			return fmt.Sprintf("camp=%g,part=%g", pt.Params.CampaignRate, pt.X)
 		}},
 	}
 	shapes := study.StudyModelShapes()
@@ -97,6 +104,52 @@ func TestGoldenFig5CSV(t *testing.T) {
 		})
 		if !bytes.Equal(got, want) {
 			t.Fatalf("scenario fig5 CSV (workers=%d) differs from study.Fig5\n--- scenario ---\n%s\n--- registry ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestGoldenFaultsCSV pins the faults scenario to the registered study's
+// SAN arm byte-for-byte. A compiled scenario runs the SAN sweep only, so
+// the golden is the registered figure with its direct/live/exact arms
+// stripped: the remaining series (names, X grid, estimates, counts) must
+// match what the declarative path produces at workers 1 and 4 — proving
+// the scenario's seed schedule (seedOffset 8000, series stride 4) and
+// model block compile to exactly the study's SAN arm.
+func TestGoldenFaultsCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("study.Faults' exact anchor (an 863k-state uniformization) is too heavy under -race")
+	}
+	ctx := context.Background()
+	want := figureCSV(t, func() (*study.Figure, error) {
+		fig, err := study.Faults(ctx, study.Config{Reps: 60, Seed: 7, Workers: 4})
+		if err != nil {
+			return nil, err
+		}
+		san := *fig
+		san.Panels = nil
+		for _, p := range fig.Panels {
+			fp := p
+			fp.Series = nil
+			for _, s := range p.Series {
+				if strings.HasPrefix(s.Name, "SAN ") {
+					fp.Series = append(fp.Series, s)
+				}
+			}
+			san.Panels = append(san.Panels, fp)
+		}
+		return &san, nil
+	})
+	c := compileFile(t, "faults.json", Defaults{Reps: 60, Seed: 7})
+	for _, workers := range []int{1, 4} {
+		got := figureCSV(t, func() (*study.Figure, error) {
+			return c.Run(ctx, study.Config{Workers: workers}, study.SweepHooks{})
+		})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("scenario faults CSV (workers=%d) differs from study.Faults SAN arm\n--- scenario ---\n%s\n--- registry ---\n%s",
 				workers, got, want)
 		}
 	}

@@ -1,0 +1,11 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports that this binary was built with the race detector.
+// The faults CSV golden runs the registered study — including its
+// 863,550-state exact uniformization anchor — which is an order of
+// magnitude past the race lane's time budget, so that golden skips itself
+// under -race; the compile/run concurrency it would exercise is covered
+// by the fig5 golden and the package's other tests.
+const raceEnabled = true

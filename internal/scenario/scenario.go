@@ -19,7 +19,9 @@ package scenario
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 )
@@ -101,6 +103,17 @@ type Model struct {
 	CorruptionMult *float64 `json:"corruptionMult,omitempty"`
 	MisbehaveRate  *float64 `json:"misbehaveRate,omitempty"`
 	RecoveryRate   *float64 `json:"recoveryRate,omitempty"`
+
+	// Environment faults: network partitions severing a random domain pair,
+	// correlated attack campaigns corrupting a Binomial(campaignSize,
+	// campaignProb) batch of hosts per firing, and a bounded repair crew
+	// (see the matching core.Params fields).
+	PartitionRate     *float64 `json:"partitionRate,omitempty"`
+	PartitionHealRate *float64 `json:"partitionHealRate,omitempty"`
+	CampaignRate      *float64 `json:"campaignRate,omitempty"`
+	CampaignProb      *float64 `json:"campaignProb,omitempty"`
+	CampaignSize      int      `json:"campaignSize,omitempty"`
+	RepairCrew        int      `json:"repairCrew,omitempty"`
 
 	RateBaseHosts    int `json:"rateBaseHosts,omitempty"`
 	RateBaseReplicas int `json:"rateBaseReplicas,omitempty"`
@@ -209,8 +222,11 @@ func Parse(data []byte) (*Scenario, error) {
 	if err := dec.Decode(&sc); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	// A clean parse leaves exactly EOF behind: a second decode that
+	// succeeds (a trailing value) or fails with anything but EOF (trailing
+	// garbage) both mean extra input.
 	var trailing json.RawMessage
-	if err := dec.Decode(&trailing); err == nil || len(bytes.TrimSpace(trailing)) > 0 {
+	if err := dec.Decode(&trailing); !errors.Is(err, io.EOF) || len(bytes.TrimSpace(trailing)) > 0 {
 		return nil, fmt.Errorf("scenario: trailing data after the scenario object")
 	}
 	if err := sc.validate(); err != nil {
@@ -290,6 +306,10 @@ func (m *Model) check(bad func(string, ...any)) {
 		{"corruptionMult", m.CorruptionMult},
 		{"misbehaveRate", m.MisbehaveRate},
 		{"recoveryRate", m.RecoveryRate},
+		{"partitionRate", m.PartitionRate},
+		{"partitionHealRate", m.PartitionHealRate},
+		{"campaignRate", m.CampaignRate},
+		{"campaignProb", m.CampaignProb},
 	} {
 		if f.v != nil && !finite(*f.v) {
 			bad("model.%s must be finite, got %v", f.name, *f.v)
@@ -310,6 +330,9 @@ func (m *Model) check(bad func(string, ...any)) {
 	}
 	if m.RateBaseHosts < 0 || m.RateBaseReplicas < 0 {
 		bad("model.rateBaseHosts/rateBaseReplicas must be >= 0")
+	}
+	if m.CampaignSize < 0 || m.RepairCrew < 0 {
+		bad("model.campaignSize/repairCrew must be >= 0")
 	}
 	if m.Policy != "" {
 		if _, err := parsePolicy(m.Policy); err != nil {

@@ -69,14 +69,17 @@ func TestExemplarsCompile(t *testing.T) {
 	}
 }
 
-// TestYAMLTwinHash proves the YAML spelling of fig5 canonicalizes to the
-// same bytes — and so the same content address — as the JSON spelling.
+// TestYAMLTwinHash proves the YAML spelling of each twinned exemplar
+// canonicalizes to the same bytes — and so the same content address — as
+// its JSON spelling.
 func TestYAMLTwinHash(t *testing.T) {
-	j := compileFile(t, "fig5.json", Defaults{})
-	y := compileFile(t, "fig5.yaml", Defaults{})
-	if jh, yh := j.Hash(), y.Hash(); jh != yh {
-		t.Fatalf("fig5.yaml hash %s != fig5.json hash %s\njson: %s\nyaml: %s",
-			yh, jh, j.Canonical(), y.Canonical())
+	for _, name := range []string{"fig5", "faults"} {
+		j := compileFile(t, name+".json", Defaults{})
+		y := compileFile(t, name+".yaml", Defaults{})
+		if jh, yh := j.Hash(), y.Hash(); jh != yh {
+			t.Fatalf("%s.yaml hash %s != %s.json hash %s\njson: %s\nyaml: %s",
+				name, yh, name, jh, j.Canonical(), y.Canonical())
+		}
 	}
 }
 

@@ -1,0 +1,83 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The environment-fault study's acceptance criterion: at every grid point
+// the SAN, direct, and live 95% intervals overlap pairwise, the live
+// probes never diverge from the model oracle, and the exact anchor lies in
+// the union of the three sampled intervals at its grid point.
+func TestFaultsStudyArmsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("the exact anchor (an 863k-state uniformization) is too heavy under -race")
+	}
+	fig, err := Faults(context.Background(), Config{Reps: 60, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Panels) != 2 {
+		t.Fatalf("%d panels, want 2", len(fig.Panels))
+	}
+	nS := len(FaultCampaignRates)
+	for _, p := range fig.Panels {
+		if len(p.Series) != 3*nS {
+			t.Fatalf("panel %s: %d series, want %d", p.ID, len(p.Series), 3*nS)
+		}
+		for si := 0; si < nS; si++ {
+			san, dir, live := p.Series[si], p.Series[nS+si], p.Series[2*nS+si]
+			for i := range san.X {
+				for _, arm := range []struct {
+					name string
+					s    Series
+				}{{"direct", dir}, {"live", live}} {
+					if d := math.Abs(san.Y[i] - arm.s.Y[i]); d > san.HW[i]+arm.s.HW[i] {
+						t.Errorf("panel %s %s vs %s at x=%g: |%g - %g| = %g exceeds combined half-width %g",
+							p.ID, san.Name, arm.s.Name, san.X[i], san.Y[i], arm.s.Y[i], d, san.HW[i]+arm.s.HW[i])
+					}
+				}
+			}
+		}
+	}
+
+	// Notes: live divergences, and the exact anchor's coverage.
+	if len(fig.Notes) < 3 {
+		t.Fatalf("%d notes, want >= 3: %v", len(fig.Notes), fig.Notes)
+	}
+	if !strings.Contains(fig.Notes[0], ", 0 oracle divergences") {
+		t.Errorf("live probes diverged from the model oracle: %s", fig.Notes[0])
+	}
+	var part, exU, exR float64
+	var states int
+	if _, err := fmt.Sscanf(fig.Notes[2], "exact anchor (camp=0, part=%g, %d states): unavail %g, unrel %g",
+		&part, &states, &exU, &exR); err != nil {
+		t.Fatalf("unparsable exact-anchor note %q: %v", fig.Notes[2], err)
+	}
+	xi := -1
+	for i, r := range FaultPartitionRates {
+		if r == part {
+			xi = i
+		}
+	}
+	if xi < 0 {
+		t.Fatalf("exact anchor at partition rate %g, not on the grid %v", part, FaultPartitionRates)
+	}
+	for pi, exact := range []float64{exU, exR} {
+		p := fig.Panels[pi]
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range []Series{p.Series[0], p.Series[nS], p.Series[2*nS]} {
+			lo = math.Min(lo, s.Y[xi]-s.HW[xi])
+			hi = math.Max(hi, s.Y[xi]+s.HW[xi])
+		}
+		if exact < lo || exact > hi {
+			t.Errorf("panel %s: exact anchor %g outside the sampled union [%g, %g]", p.ID, exact, lo, hi)
+		}
+	}
+}

@@ -95,6 +95,26 @@ func StudyModelShapes() []StudyModelShape {
 		})
 	}
 
+	// faults: the environment-fault study's grid corners — partitions and
+	// campaigns each toggle whole activity/place groups in and out, so every
+	// on/off combination is a distinct structure; the repair crew is always
+	// on (its places exist in all four shapes).
+	for _, camp := range []float64{0, 0.5} {
+		for _, part := range []float64{0, 8} {
+			camp, part := camp, part
+			add("faults", fmtShape("camp=%g,part=%g", camp, part), func(p *core.Params) {
+				topo(p, 2, 1, 1, 2)
+				p.CorruptionMult = 5
+				p.PartitionRate = part
+				p.PartitionHealRate = 2
+				p.CampaignRate = camp
+				p.CampaignSize = 2
+				p.CampaignProb = 0.5
+				p.RepairCrew = 1
+			})
+		}
+	}
+
 	// xval: the cross-validation baseline, both policies.
 	for _, policy := range []core.Policy{core.DomainExclusion, core.HostExclusion} {
 		policy := policy

@@ -1,0 +1,6 @@
+//go:build !race
+
+package study
+
+// raceEnabled reports that this binary was built with the race detector.
+const raceEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package study
+
+// raceEnabled reports that this binary was built with the race detector.
+// The fault study's exact uniformization anchor (an 863,550-state chain)
+// is an order of magnitude past the race lane's time budget, so the tests
+// that run it skip themselves under -race; the concurrent machinery they
+// would exercise (the flattened sweep pool, the rsm transport, the mc
+// solver) is raced by the faster tests of those packages.
+const raceEnabled = true

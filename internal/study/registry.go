@@ -20,6 +20,7 @@ var Registry = map[string]Runner{
 	"fig5-paired":   Fig5Paired,
 	"analytic":      Analytic,
 	"live":          Live,
+	"faults":        Faults,
 	"xval":          CrossValidation,
 	"numval":        NumericalValidation,
 	"abl-detect":    AblationDetectionRate,
@@ -37,6 +38,7 @@ var descriptions = map[string]string{
 	"fig5-paired":   "Figure 5 on common random numbers: host-minus-domain deltas with paired-t CIs and crossovers",
 	"analytic":      "exact (CTMC uniformization) vs simulated measures on a 2-domain configuration",
 	"live":          "SAN model vs a real fault-injected replica group (internal/rsm) on a 2-domain configuration",
+	"faults":        "environment faults (partitions x campaigns, bounded repair crew): SAN vs direct vs live, exact anchor",
 	"xval":          "cross-validation: SAN engine vs the independent direct simulator on a shared baseline",
 	"numval":        "numerical validation: reduced SAN vs closed-form birth-process results",
 	"abl-detect":    "ablation: sweep the detection-pipeline rate calibrated for the paper's figures",
