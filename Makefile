@@ -22,9 +22,13 @@
 #                campaigns, bounded repair crew active in every engine:
 #                SAN vs direct vs live vs exact), heavier than the
 #                fault smoke variant inside `make test`
+#   lumpcheck    symmetry-lumping gate: exhaustive lumped-vs-full
+#                equivalence over every study model shape plus the
+#                4x2 lumped-anchor cross-check, heavier than the
+#                two-configuration equivalence test inside `make test`
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-json bench-mc perf-smoke lint-models fuzz-smoke serve-smoke crosscheck livecheck faultcheck
+.PHONY: ci vet build test race bench bench-json bench-mc perf-smoke lint-models fuzz-smoke serve-smoke crosscheck livecheck faultcheck lumpcheck
 
 ci: vet build test race
 
@@ -38,7 +42,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/... ./internal/mc/... ./internal/rsm/... ./internal/server/... ./internal/scenario/...
+	$(GO) test -race ./internal/sim/... ./internal/study/... ./internal/precision/... ./internal/mc/... ./internal/exact/... ./internal/rsm/... ./internal/server/... ./internal/scenario/...
 
 lint-models:
 	$(GO) test ./internal/study -run TestLintRegisteredModels -count=1
@@ -51,6 +55,7 @@ fuzz-smoke:
 	$(GO) test ./internal/san -run '^$$' -fuzz FuzzMarkingKey -fuzztime 10s
 	$(GO) test ./internal/rsm -run '^$$' -fuzz FuzzWireMsg -fuzztime 10s
 	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzCanonicalKey -fuzztime 10s
 
 serve-smoke:
 	SERVE_SMOKE=1 $(GO) test ./internal/server -run TestServeSmoke -count=1 -v -timeout 5m
@@ -63,6 +68,16 @@ livecheck:
 
 faultcheck:
 	FAULTCHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckFaultsFull -count=1 -v -timeout 30m
+
+# lumpcheck is the symmetry-lumping gate: the exhaustive lumped-vs-full
+# equivalence sweep over every registered study model shape (worker
+# counts 1 and 4, agreement to 1e-12), plus the 4-domain x 2-host anchor
+# cross-check — a topology whose full chain is far beyond the default
+# MaxStates, solved exactly on the quotient and required to land inside
+# the SAN and direct simulators' confidence-interval union.
+lumpcheck:
+	LUMPCHECK_FULL=1 $(GO) test ./internal/exact -run TestLumpedEquivalenceShapes -count=1 -v -timeout 30m
+	LUMPCHECK_FULL=1 $(GO) test ./internal/integrity -run TestCrossCheckLumpedAnchor -count=1 -v -timeout 30m
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim ./internal/mc
@@ -77,11 +92,12 @@ bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/sim ./internal/mc | $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS)
 
 # bench-mc runs only the analytic-path (state-space generation +
-# uniformization) benchmarks and writes BENCH_PR5.json with the speedup
-# over the checked-in pre-overhaul baseline BENCH_PR5_baseline.json.
+# uniformization) benchmarks — including the ITUA full-vs-lumped pair —
+# and writes BENCH_PR9.json with the speedup over the checked-in
+# pre-lumping baseline BENCH_PR9_baseline.json.
 bench-mc:
-	$(GO) test -bench 'BenchmarkMC' -benchmem -run=^$$ ./internal/mc | \
-		$(GO) run ./cmd/benchjson -o BENCH_PR5.json -baseline BENCH_PR5_baseline.json
+	$(GO) test -bench 'BenchmarkMC' -benchmem -timeout 40m -run=^$$ ./internal/mc | \
+		$(GO) run ./cmd/benchjson -o BENCH_PR9.json -baseline BENCH_PR9_baseline.json
 
 # perf-smoke is the fast CI lane: one iteration of the engine hot-path
 # benchmarks plus one full figure panel, enough to catch a build break or a

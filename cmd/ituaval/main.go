@@ -17,6 +17,12 @@
 // firing budget, 14 invariant violation, 15 livelock; 0 means the
 // replication completed cleanly.
 //
+// -exact additionally solves the configuration's CTMC by uniformization
+// (internal/exact) and prints the numerically exact measures next to the
+// simulated estimates. The chain is symmetry-lumped by default — hosts
+// within a domain and whole domains are exchangeable, so multi-host
+// topologies stay generateable — and -no-lump forces the full chain.
+//
 // -live additionally runs the live replicated service (internal/rsm): the
 // same attack process is injected into a real message-passing replica group
 // of application 0 and a synthetic client measures the availability and
@@ -42,6 +48,7 @@ import (
 	"syscall"
 
 	"ituaval/internal/core"
+	"ituaval/internal/exact"
 	"ituaval/internal/integrity"
 	"ituaval/internal/prof"
 	"ituaval/internal/reward"
@@ -77,6 +84,10 @@ func run() int {
 
 		live     = flag.Bool("live", false, "also run the live replicated service under fault injection and print its measured availability/reliability next to the model's")
 		liveSims = flag.Int("live-sims", 0, "live replications with -live (0 = -sims)")
+
+		exactArm  = flag.Bool("exact", false, "also solve the configuration's CTMC numerically (symmetry-lumped uniformization, internal/exact) and print the exact measures next to the simulated estimates")
+		exactMax  = flag.Int("exact-max-states", 0, "state cap for -exact generation (0 = default 1<<20)")
+		exactFull = flag.Bool("no-lump", false, "with -exact, generate the full chain instead of the symmetry-lumped quotient")
 
 		repDeadline = flag.Duration("rep-deadline", 0, "wall-clock watchdog per replication (0 = none)")
 		maxFailFrac = flag.Float64("max-failure-frac", 0, "tolerated fraction of failed replications (0 = default 5%, negative = none)")
@@ -214,6 +225,40 @@ func run() int {
 			fmt.Printf("  rep %-6d %-13s %v\n", f.Rep, f.Kind, &f)
 		}
 		fmt.Printf("reproduce one with: ituaval [same flags] -replay <rep>\n")
+	}
+
+	if *exactArm && !interrupted {
+		// Exact arm: the symmetry-lumped (or, with -no-lump, full) CTMC
+		// solved by uniformization; no sampling error, so the simulated
+		// intervals above should bracket these values.
+		s, err := exact.NewSolver(p, exact.Options{
+			MaxStates: *exactMax, Workers: 0, NoLump: *exactFull,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ituaval: exact arm: %v\n", err)
+			return 1
+		}
+		kind := "full"
+		if s.Lumped {
+			kind = "symmetry-lumped"
+		}
+		fmt.Printf("\nexact uniformization (%s chain: %d states, %d transitions):\n",
+			kind, s.C.NumStates(), s.C.NumTransitions())
+		for _, ex := range []struct {
+			name string
+			f    func() (float64, error)
+		}{
+			{"exact unavailability", func() (float64, error) { return s.Unavailability(0, T) }},
+			{"exact unreliability (Byzantine fault by T)", func() (float64, error) { return s.Unreliability(0, T) }},
+			{"exact fraction of domains excluded at T", func() (float64, error) { return s.FracDomainsExcluded(T) }},
+		} {
+			v, err := ex.f()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ituaval: exact arm: %v\n", err)
+				return 1
+			}
+			fmt.Printf("  %-50s %10.5f\n", ex.name, v)
+		}
 	}
 
 	if *live && !interrupted {

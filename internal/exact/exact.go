@@ -11,6 +11,18 @@
 // measure only tests intrusions == 0, so the simulated and analytic
 // models agree on all observables (core.Params.Analytic documents the
 // argument).
+//
+// By default the solver generates the symmetry-lumped quotient chain
+// (core.NewCanonicalizer): hosts within a domain and whole domains are
+// exchangeable, so the full chain's orbits collapse into single states and
+// multi-host topologies that are far beyond MaxStates become solvable.
+// Every measure this package computes is orbit-invariant (Improper,
+// Byzantine, and DomainsExcluded read only permutation-transported
+// counts), so the quotient yields bit-accurate answers in the sense of
+// ordinary lumpability. Configurations the canonicalizer refuses
+// (least-loaded placement, single-host topologies) fall back to the full
+// chain automatically; Options.NoLump forces the full chain everywhere,
+// which the equivalence tests use.
 package exact
 
 import (
@@ -21,28 +33,52 @@ import (
 	"ituaval/internal/san"
 )
 
+// Options configures chain generation for the solver.
+type Options struct {
+	// MaxStates aborts generation beyond this many states (0 = mc default).
+	MaxStates int
+	// Workers is the generation and solve parallelism (0 = GOMAXPROCS).
+	Workers int
+	// NoLump disables symmetry lumping and generates the full chain even
+	// when the configuration is symmetric. Measures are unchanged (ordinary
+	// lumpability); only the state count and runtime differ.
+	NoLump bool
+}
+
 // Solver holds a generated chain together with the model handles the
 // measure definitions need. Methods are safe to call repeatedly; each
 // runs one numerical solution on the shared chain.
 type Solver struct {
 	M *core.Model
 	C *mc.CTMC
+	// Lumped reports whether the chain is the symmetry quotient rather
+	// than the full chain.
+	Lumped bool
 }
 
 // NewSolver builds the composed ITUA model for p (with Analytic forced
-// on) and generates its CTMC. Configurations that are too large surface
-// as the mc.Generate MaxStates error.
-func NewSolver(p core.Params, opts mc.Options) (*Solver, error) {
+// on) and generates its CTMC — the symmetry-lumped quotient when the
+// configuration admits one and opts.NoLump is unset. Configurations that
+// are too large surface as the mc.Generate MaxStates error.
+func NewSolver(p core.Params, opts Options) (*Solver, error) {
 	p.Analytic = true
 	m, err := core.Build(p)
 	if err != nil {
 		return nil, err
 	}
-	c, err := mc.Generate(m.SAN, opts)
+	mcOpts := mc.Options{MaxStates: opts.MaxStates, Workers: opts.Workers}
+	lumped := false
+	if !opts.NoLump {
+		if canon := core.NewCanonicalizer(m); canon != nil {
+			mcOpts.Canon = canon
+			lumped = true
+		}
+	}
+	c, err := mc.Generate(m.SAN, mcOpts)
 	if err != nil {
 		return nil, fmt.Errorf("exact: %w", err)
 	}
-	return &Solver{M: m, C: c}, nil
+	return &Solver{M: m, C: c, Lumped: lumped}, nil
 }
 
 // indicator lifts a predicate to a 0/1 rate reward.

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"ituaval/internal/core"
-	"ituaval/internal/mc"
 )
 
 // TestSolverSmallConfig generates the 2-domain, 1-host-per-domain
@@ -18,7 +17,7 @@ func TestSolverSmallConfig(t *testing.T) {
 	p.NumApps = 1
 	p.RepsPerApp = 2
 	p.DomainSpreadRate = 0 // keeps the chain under 10^5 states
-	s, err := NewSolver(p, mc.Options{MaxStates: 500_000})
+	s, err := NewSolver(p, Options{MaxStates: 500_000})
 	if err != nil {
 		t.Fatal(err)
 	}

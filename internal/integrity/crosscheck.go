@@ -9,7 +9,6 @@ import (
 	"ituaval/internal/core"
 	"ituaval/internal/exact"
 	"ituaval/internal/ituadirect"
-	"ituaval/internal/mc"
 	"ituaval/internal/reward"
 	"ituaval/internal/rng"
 	"ituaval/internal/rsm"
@@ -267,7 +266,7 @@ func CrossCheck(ctx context.Context, p core.Params, o CrossCheckOptions) (*Cross
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		s, err := exact.NewSolver(p, mc.Options{MaxStates: o.ExactMaxStates, Workers: o.Workers})
+		s, err := exact.NewSolver(p, exact.Options{MaxStates: o.ExactMaxStates, Workers: o.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("integrity: exact arm: %w", err)
 		}

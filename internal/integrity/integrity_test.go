@@ -9,6 +9,7 @@ import (
 	"ituaval/internal/reward"
 	"ituaval/internal/san"
 	"ituaval/internal/sim"
+	"ituaval/internal/study"
 )
 
 func baseParams(policy core.Policy) core.Params {
@@ -378,6 +379,40 @@ func TestCrossCheckFaultsFull(t *testing.T) {
 		if !report.Agree() {
 			t.Errorf("%s: engines disagree under environment faults:\n%s", policy, report)
 		}
+	}
+}
+
+// TestCrossCheckLumpedAnchor is the scale half of the lumpcheck lane
+// (`make lumpcheck`): the 4-domain x 2-host x 3-app Figure-5 anchor whose
+// full chain is far beyond the default generation cap, solved exactly on
+// its symmetry-lumped quotient (~1.59M states) and cross-checked against
+// the SAN and direct simulators — the exact values must land inside the
+// union of the two 95% confidence intervals. Before lumping this
+// configuration was reachable only by the simulators; the numerical
+// equivalence of the quotient itself is established by the other half of
+// the lane (exact.TestLumpedEquivalenceShapes). Gated on LUMPCHECK_FULL=1.
+func TestCrossCheckLumpedAnchor(t *testing.T) {
+	if os.Getenv("LUMPCHECK_FULL") == "" {
+		t.Skip("set LUMPCHECK_FULL=1 to run the lumped 4x2 anchor cross-check")
+	}
+	p := study.AnalyticAnchorParams()
+	report, err := CrossCheck(context.Background(), p, CrossCheckOptions{
+		Reps: 1000, Seed: 29, Exact: true, ExactMaxStates: study.AnalyticAnchorMaxStates,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", report)
+	for _, m := range report.Measures {
+		if !m.HasExact {
+			t.Fatalf("%s: exact arm did not run", m.Name)
+		}
+		if !m.ExactCovered() {
+			t.Errorf("%s: exact value %.6g outside the simulators' CI union", m.Name, m.Exact)
+		}
+	}
+	if !report.Agree() {
+		t.Errorf("lumped-anchor cross-check disagrees:\n%s", report)
 	}
 }
 

@@ -96,13 +96,14 @@ func BenchmarkMCUniformStep10k(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	step, _ := c.uniformized()
+	op, _ := c.uniOperator(nil)
+	defer op.stop()
 	v := c.InitialDistribution()
 	out := make([]float64, len(v))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		step(v, out)
+		op.apply(v, out)
 		v, out = out, v
 	}
 }

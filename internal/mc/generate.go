@@ -21,6 +21,14 @@
 // identical at any worker count. The generator matrix is stored in CSR
 // form (row-pointer + column/rate arrays) together with its transpose,
 // which the uniformization solver consumes cache-linearly.
+//
+// Models with exchangeable components can supply an Options.Canon
+// symmetry canonicalizer: every explored marking is replaced by its orbit
+// representative before interning, so the BFS explores the lumped
+// quotient chain directly — the full chain is never materialized and the
+// state space shrinks by up to the symmetry group's order. By ordinary
+// lumpability the quotient produces the same transient and accumulated
+// measures as the full chain for any orbit-invariant reward.
 package mc
 
 import (
@@ -69,6 +77,23 @@ type CTMC struct {
 	workers int
 }
 
+// Canonicalizer maps a marking vector to the representative of its orbit
+// under a symmetry group of the model, rewriting the vector in place. When
+// one is supplied, the generator interns only orbit representatives, so
+// the BFS explores the lumped quotient chain directly and no full chain is
+// ever materialized.
+//
+// Correctness requires ordinary lumpability: the model's dynamics must be
+// equivariant under the group (permuting a state permutes its successors
+// and preserves rates), and every reward evaluated on the resulting chain
+// must be constant on each orbit. Canonicalize must be idempotent and
+// permutation-invariant: two markings in the same orbit map to the same
+// representative. It is called concurrently from the generation workers
+// and must be safe for concurrent use.
+type Canonicalizer interface {
+	Canonicalize(m []san.Marking)
+}
+
 // Options bounds state-space generation.
 type Options struct {
 	// MaxStates aborts generation beyond this many states (0 = 1<<20).
@@ -77,6 +102,10 @@ type Options struct {
 	// parallelism of large solves (0 = GOMAXPROCS). Results are
 	// bit-identical at every worker count.
 	Workers int
+	// Canon, when non-nil, lumps the chain by symmetry: every explored
+	// marking is replaced by its orbit representative before interning,
+	// so the generator builds the quotient chain. See Canonicalizer.
+	Canon Canonicalizer
 }
 
 // pair is one aggregated outgoing transition during expansion, keyed by
@@ -150,6 +179,7 @@ type generator struct {
 	nPlaces   int
 	timed     []*san.Activity
 	maxStates int
+	canon     Canonicalizer
 
 	shards [numShards]*internShard
 
@@ -196,11 +226,14 @@ func (g *generator) intern(key []byte, m []san.Marking) (pid uint32, fresh bool,
 
 	g.mu.Lock()
 	g.total++
-	over := g.total > g.maxStates
+	total := g.total
+	over := total > g.maxStates
 	g.mu.Unlock()
 	if over {
-		return 0, false, fmt.Errorf("mc: state space exceeds %d states (offending marking %v)",
-			g.maxStates, append([]san.Marking(nil), m...))
+		return 0, false, fmt.Errorf("mc: model %q: state space exceeds MaxStates=%d "+
+			"(%d states interned and the frontier is still growing; offending marking %v); "+
+			"raise Options.MaxStates or shrink the topology",
+			g.model.Name(), g.maxStates, total, append([]san.Marking(nil), m...))
 	}
 	return local<<shardBits | uint32(h&(numShards-1)), true, nil
 }
@@ -239,6 +272,7 @@ type genWorker struct {
 	scratch   *san.State
 	res       *san.Resolver
 	keyBuf    []byte
+	canonBuf  []san.Marking
 	agg       map[uint32]int32
 	pairs     []pair
 	newIDs    []uint32
@@ -258,16 +292,32 @@ func newGenWorker(g *generator) *genWorker {
 	return w
 }
 
-// addSuccessor is the resolver visit hook: intern the stable marking and
-// aggregate the transition rate, in first-encounter order so per-row
-// float summation is identical at every worker count.
+// canonical returns the marking vector to intern for st: the raw vector
+// when no canonicalizer is configured, or a scratch copy rewritten to the
+// orbit representative. The copy leaves the resolver's state untouched so
+// sibling branches keep resolving from the real marking.
+func (w *genWorker) canonical(st *san.State) []san.Marking {
+	if w.g.canon == nil {
+		return st.Markings()
+	}
+	w.canonBuf = append(w.canonBuf[:0], st.Markings()...)
+	w.g.canon.Canonicalize(w.canonBuf)
+	return w.canonBuf
+}
+
+// addSuccessor is the resolver visit hook: intern the stable marking
+// (canonicalized when lumping) and aggregate the transition rate, in
+// first-encounter order so per-row float summation is identical at every
+// worker count. Distinct successors in the same orbit collapse onto one
+// quotient state here, which is exactly the lumped chain's aggregate rate.
 func (w *genWorker) addSuccessor(st *san.State, p float64) error {
 	rate := w.rateScale * p
 	if rate <= 0 {
 		return nil
 	}
-	w.keyBuf = san.AppendMarkingKey(w.keyBuf[:0], st.Markings())
-	pid, fresh, err := w.g.intern(w.keyBuf, st.Markings())
+	ms := w.canonical(st)
+	w.keyBuf = san.AppendMarkingKey(w.keyBuf[:0], ms)
+	pid, fresh, err := w.g.intern(w.keyBuf, ms)
 	if err != nil {
 		return err
 	}
@@ -393,6 +443,7 @@ func Generate(model *san.Model, opts Options) (c *CTMC, err error) {
 		model:     model,
 		nPlaces:   len(model.Places()),
 		maxStates: maxStates,
+		canon:     opts.Canon,
 	}
 	g.cond = sync.NewCond(&g.mu)
 	for i := range g.shards {
@@ -416,8 +467,9 @@ func Generate(model *san.Model, opts Options) (c *CTMC, err error) {
 	initAgg := make(map[uint32]int)
 	initState := model.NewState()
 	err = seedWorker.res.Resolve(initState, nil, 0, model.Init(), func(st *san.State, prob float64) error {
-		seedWorker.keyBuf = san.AppendMarkingKey(seedWorker.keyBuf[:0], st.Markings())
-		pid, fresh, ierr := g.intern(seedWorker.keyBuf, st.Markings())
+		ms := seedWorker.canonical(st)
+		seedWorker.keyBuf = san.AppendMarkingKey(seedWorker.keyBuf[:0], ms)
+		pid, fresh, ierr := g.intern(seedWorker.keyBuf, ms)
 		if ierr != nil {
 			return ierr
 		}

@@ -296,11 +296,19 @@ func TestGenerateMaxStates(t *testing.T) {
 		t.Fatal("expected state-space bound error")
 	}
 	// The bound is enforced at intern time — the 11th distinct marking
-	// trips it — and the error names both the bound and the offending
-	// marking so oversized configurations are diagnosable.
+	// trips it — and the error names the model, the configured cap, the
+	// state count reached, and the offending marking, so oversized
+	// configurations are diagnosable and -max-states can be sized without
+	// trial and error.
 	msg := err.Error()
-	if !strings.Contains(msg, "exceeds 10 states") {
-		t.Fatalf("error does not name the bound: %q", msg)
+	if !strings.Contains(msg, "MaxStates=10") {
+		t.Fatalf("error does not name the configured cap: %q", msg)
+	}
+	if !strings.Contains(msg, "11 states interned") {
+		t.Fatalf("error does not report the offending state count: %q", msg)
+	}
+	if !strings.Contains(msg, `model "mm1k"`) {
+		t.Fatalf("error does not name the model topology: %q", msg)
 	}
 	if !strings.Contains(msg, "offending marking") || !strings.Contains(msg, "[10]") {
 		t.Fatalf("error does not carry the offending marking: %q", msg)

@@ -126,8 +126,15 @@ func (w *poissonWindow) last() int { return w.left + len(w.terms) - 1 }
 // uniStep is the one-step operator of the uniformized DTMC with every
 // probability precomputed: out[i] = stay[i]·v[i] + Σ_k prob[k]·v[src[k]]
 // over state i's incoming transitions (transposed CSR, sources ascending).
-// Each out[i] is written by exactly one row range with a fixed per-row
+// Each out[i] is written by exactly one row block with a fixed per-row
 // summation order, so results are bit-identical at every worker count.
+//
+// Large chains run the matvec over a static row-block partition balanced
+// by incoming-transition count (a row's cost is its gather length, not 1),
+// executed by a persistent pool of workers that lives for the duration of
+// one solve — the quotient chains the lumped generator produces run tens
+// of thousands of steps, and respawning goroutines per step is measurable
+// at that scale. Callers that obtain an operator must stop() it.
 type uniStep struct {
 	n       int
 	stay    []float64
@@ -135,28 +142,72 @@ type uniStep struct {
 	tCols   []int32
 	tProb   []float64
 	workers int
+
+	// blocks is the row partition: block b covers rows
+	// [blocks[b], blocks[b+1]). Nil when the chain is solved sequentially.
+	blocks []int32
+
+	poolOnce sync.Once
+	jobs     chan int
+	jobWG    sync.WaitGroup
+	v, out   []float64 // current operands, set before jobs are posted
 }
 
 // parallelSolveMin is the problem size (states + transitions) below which
 // row-parallel matvec is not worth the goroutine handoff.
 const parallelSolveMin = 1 << 15
 
-func (s *uniStep) apply(v, out []float64) {
-	if s.workers > 1 && s.n+len(s.tCols) >= parallelSolveMin {
-		var wg sync.WaitGroup
-		chunk := (s.n + s.workers - 1) / s.workers
-		for lo := 0; lo < s.n; lo += chunk {
-			hi := min(lo+chunk, s.n)
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				s.applyRange(v, out, lo, hi)
-			}(lo, hi)
+// makeBlocks cuts the rows into nBlocks contiguous blocks of roughly equal
+// work, where row i costs 1 + its incoming-transition count.
+func (s *uniStep) makeBlocks(nBlocks int) {
+	total := s.n + len(s.tCols)
+	s.blocks = make([]int32, 1, nBlocks+1)
+	work, cut := 0, 1
+	for i := 0; i < s.n && cut < nBlocks; i++ {
+		work += 1 + int(s.tRowPtr[i+1]-s.tRowPtr[i])
+		if work*nBlocks >= total*cut {
+			s.blocks = append(s.blocks, int32(i+1))
+			cut++
 		}
-		wg.Wait()
+	}
+	s.blocks = append(s.blocks, int32(s.n))
+}
+
+func (s *uniStep) startPool() {
+	s.jobs = make(chan int)
+	for w := 1; w < len(s.blocks)-1; w++ {
+		go func() {
+			for b := range s.jobs {
+				s.applyRange(s.v, s.out, int(s.blocks[b]), int(s.blocks[b+1]))
+				s.jobWG.Done()
+			}
+		}()
+	}
+}
+
+// stop releases the worker pool. Safe to call whether or not the pool
+// started; the operator must not be applied afterwards.
+func (s *uniStep) stop() {
+	if s.jobs != nil {
+		close(s.jobs)
+		s.jobs = nil
+	}
+}
+
+func (s *uniStep) apply(v, out []float64) {
+	if s.blocks == nil {
+		s.applyRange(v, out, 0, s.n)
 		return
 	}
-	s.applyRange(v, out, 0, s.n)
+	s.poolOnce.Do(s.startPool)
+	s.v, s.out = v, out
+	nb := len(s.blocks) - 1
+	s.jobWG.Add(nb - 1)
+	for b := 1; b < nb; b++ {
+		s.jobs <- b
+	}
+	s.applyRange(v, out, int(s.blocks[0]), int(s.blocks[1]))
+	s.jobWG.Wait()
 }
 
 func (s *uniStep) applyRange(v, out []float64, lo, hi int) {
@@ -207,14 +258,10 @@ func (c *CTMC) uniOperator(bad []bool) (*uniStep, float64) {
 			s.tProb[k] = c.tRates[k] / lambda
 		}
 	}
+	if s.workers > 1 && s.n+len(s.tCols) >= parallelSolveMin {
+		s.makeBlocks(s.workers)
+	}
 	return s, lambda
-}
-
-// uniformized returns the DTMC transition function of the uniformized
-// chain and the uniformization rate Λ.
-func (c *CTMC) uniformized() (step func(v, out []float64), lambda float64) {
-	op, l := c.uniOperator(nil)
-	return op.apply, l
 }
 
 // Steady-state detection inside the transient loop: once successive
@@ -279,6 +326,7 @@ func (c *CTMC) Transient(t float64) ([]float64, error) {
 		return v, nil
 	}
 	op, lambda := c.uniOperator(nil)
+	defer op.stop()
 	out, err := transientDist(op, v, lambda, t, 1e-12)
 	if err != nil {
 		return nil, fmt.Errorf("mc: transient at t=%v: %w", t, err)
@@ -298,6 +346,12 @@ func (c *CTMC) TransientReward(t float64, f func(*san.State) float64) (float64, 
 // IntervalAverageReward returns (1/T) E[∫₀ᵀ f(X_u) du] using the
 // uniformization formula for accumulated rewards:
 // E[∫₀ᵀ r du] = (1/Λ) Σ_k (vₖ·r) P(N(ΛT) > k).
+//
+// Like transientDist, the loop detects steady state: once successive
+// uniformized iterates agree to ssTol, every remaining step contributes
+// the same reward, and the remaining tail weights sum in closed form to
+// E[N] − Σ seen = ΛT − Σ seen — so the (possibly ΛT-step) iteration
+// exits early with the exact remainder instead of stepping through it.
 func (c *CTMC) IntervalAverageReward(t float64, f func(*san.State) float64) (float64, error) {
 	if t <= 0 {
 		return 0, errors.New("mc: non-positive interval")
@@ -305,6 +359,7 @@ func (c *CTMC) IntervalAverageReward(t float64, f func(*san.State) float64) (flo
 	r := c.RewardVector(f)
 	v := c.InitialDistribution()
 	op, lambda := c.uniOperator(nil)
+	defer op.stop()
 	w, err := newPoissonWindow(lambda*t, 1e-12)
 	if err != nil {
 		return 0, fmt.Errorf("mc: interval reward over [0,%v]: %w", t, err)
@@ -312,6 +367,7 @@ func (c *CTMC) IntervalAverageReward(t float64, f func(*san.State) float64) (flo
 	next := make([]float64, len(v))
 	acc := 0.0
 	cum := 0.0
+	tailSum := 0.0 // Σ over seen steps of P(N > k)
 	for k := 0; k <= w.last(); k++ {
 		cum += w.prob(k)
 		tail := 1 - cum
@@ -319,10 +375,25 @@ func (c *CTMC) IntervalAverageReward(t float64, f func(*san.State) float64) (flo
 			tail = 0
 		}
 		acc += dot(v, r) * tail
+		tailSum += tail
 		if tail == 0 {
 			break
 		}
 		op.apply(v, next)
+		if k >= ssCheckFrom && k%ssCheckEvery == 0 {
+			diff := 0.0
+			for i := range v {
+				if d := math.Abs(next[i] - v[i]); d > diff {
+					diff = d
+				}
+			}
+			if diff <= ssTol {
+				if rem := lambda*t - tailSum; rem > 0 {
+					acc += dot(next, r) * rem
+				}
+				return acc / lambda / t, nil
+			}
+		}
 		v, next = next, v
 	}
 	return acc / lambda / t, nil
@@ -341,6 +412,7 @@ func (c *CTMC) SteadyState(tol float64, maxIter int) ([]float64, error) {
 	}
 	v := c.InitialDistribution()
 	op, _ := c.uniOperator(nil)
+	defer op.stop()
 	next := make([]float64, len(v))
 	for iter := 0; iter < maxIter; iter++ {
 		op.apply(v, next)
@@ -383,6 +455,7 @@ func (c *CTMC) FirstPassageProb(t float64, pred func(*san.State) bool) (float64,
 	if t > 0 {
 		op, lambda := c.uniOperator(bad)
 		out, err := transientDist(op, v, lambda, t, 1e-12)
+		op.stop()
 		if err != nil {
 			return 0, fmt.Errorf("mc: first passage by t=%v: %w", t, err)
 		}

@@ -7,7 +7,6 @@ import (
 
 	"ituaval/internal/core"
 	"ituaval/internal/exact"
-	"ituaval/internal/mc"
 	"ituaval/internal/reward"
 )
 
@@ -34,6 +33,37 @@ func analyticParams(spread float64) core.Params {
 	p.Analytic = true
 	return p
 }
+
+// AnalyticAnchorParams is the full-scale exact anchor made reachable by
+// symmetry lumping (PR 9): the Figure-5 topology at four domains of two
+// hosts, three applications with two replicas each, corruption multiplier
+// 5, at the spread-0 grid point with the host- and manager-attack splits
+// zeroed (replica attacks and host false alarms remain, so corruptions and
+// exclusions still occur). Its full chain exceeds 2^22 states — far beyond
+// the default generation cap — while the S_4 x (S_2)^4 quotient is about
+// 1.59 million states, generated and solved in minutes. The lumpcheck CI
+// lane (integrity.TestCrossCheckLumpedAnchor) solves this configuration
+// exactly and requires the values to land inside the union of the SAN and
+// direct simulators' 95% confidence intervals.
+func AnalyticAnchorParams() core.Params {
+	p := core.DefaultParams()
+	p.NumDomains = 4
+	p.HostsPerDomain = 2
+	p.NumApps = 3
+	p.RepsPerApp = 2
+	p.CorruptionMult = 5
+	p.DomainSpreadRate = 0
+	p.SystemSpreadRate = 0
+	p.AttackSplitHost = 0
+	p.AttackSplitMgr = 0
+	p.Policy = core.DomainExclusion
+	p.Analytic = true
+	return p
+}
+
+// AnalyticAnchorMaxStates comfortably bounds the anchor's lumped quotient
+// (~1.59M states; the full chain blows through 2^22).
+const AnalyticAnchorMaxStates = 1 << 21
 
 // analyticVars are the simulated counterparts of the exactly computed
 // measures, evaluated on application 0 like study 3.
@@ -90,7 +120,7 @@ func Analytic(ctx context.Context, cfg Config) (*Figure, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		s, err := exact.NewSolver(analyticParams(spread), mc.Options{Workers: cfg.Workers})
+		s, err := exact.NewSolver(analyticParams(spread), exact.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("analytic spread=%v: %w", spread, err)
 		}

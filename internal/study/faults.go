@@ -8,7 +8,6 @@ import (
 	"ituaval/internal/core"
 	"ituaval/internal/exact"
 	"ituaval/internal/ituadirect"
-	"ituaval/internal/mc"
 	"ituaval/internal/rng"
 	"ituaval/internal/rsm"
 	"ituaval/internal/stats"
@@ -187,7 +186,7 @@ func Faults(ctx context.Context, cfg Config) (*Figure, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s, err := exact.NewSolver(anchor, mc.Options{Workers: cfg.Workers})
+	s, err := exact.NewSolver(anchor, exact.Options{Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("faults exact anchor: %w", err)
 	}
